@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the scheduler hot paths and simulation substrate.
+
+use cfs::Cfs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernel::{cpu_hog, AppSpec, Kernel, SimConfig, ThreadSpec};
+use sched_api::Scheduler;
+use simcore::{Dur, EventQueue, SimRng, Time};
+use topology::Topology;
+use ule::interactivity::Interactivity;
+use ule::Ule;
+
+/// Event-queue push/pop throughput (the simulator's innermost loop).
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(Time(i * 7919 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+}
+
+/// PELT decay math.
+fn bench_pelt(c: &mut Criterion) {
+    c.bench_function("pelt_update_1k", |b| {
+        b.iter(|| {
+            let mut p = cfs::pelt::Pelt::new_zero(Time::ZERO);
+            let mut t = Time::ZERO;
+            for i in 0..1000 {
+                t += Dur::micros(800);
+                p.update(t, i % 3 != 0);
+            }
+            p.avg()
+        })
+    });
+}
+
+/// ULE's interactivity scoring (penalty + window decay).
+fn bench_interactivity(c: &mut Criterion) {
+    let params = ule::params::UleParams::default();
+    c.bench_function("ule_interact_update_1k", |b| {
+        b.iter(|| {
+            let mut i = Interactivity::new();
+            for k in 0..1000u64 {
+                if k % 3 == 0 {
+                    i.add_sleep(Dur::millis(2), &params);
+                } else {
+                    i.add_run(Dur::millis(1), &params);
+                }
+            }
+            i.penalty()
+        })
+    });
+}
+
+/// A full simulated second of a busy 32-core machine under each scheduler:
+/// measures end-to-end simulator throughput (events/sec).
+fn bench_busy_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("busy_machine_second");
+    g.sample_size(10);
+    let build = |sched: Box<dyn Scheduler>| {
+        let topo = Topology::opteron_6172();
+        let mut k = Kernel::new(topo, SimConfig::with_seed(1), sched);
+        let threads = (0..64)
+            .map(|i| ThreadSpec::new(format!("w{i}"), cpu_hog(Dur::secs(10), Dur::millis(3))))
+            .collect();
+        k.queue_app(Time::ZERO, AppSpec::new("busy", threads));
+        k
+    };
+    g.bench_function("cfs", |b| {
+        b.iter(|| {
+            let topo = Topology::opteron_6172();
+            let mut k = build(Box::new(Cfs::new(&topo)));
+            k.run_until(Time::ZERO + Dur::secs(1));
+            k.counters().ctx_switches
+        })
+    });
+    g.bench_function("ule", |b| {
+        b.iter(|| {
+            let topo = Topology::opteron_6172();
+            let mut k = build(Box::new(Ule::new(&topo)));
+            k.run_until(Time::ZERO + Dur::secs(1));
+            k.counters().ctx_switches
+        })
+    });
+    g.finish();
+}
+
+/// Placement cost: one wakeup-placement decision on a loaded machine.
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wakeup_placement");
+    // Preload a machine, then repeatedly exercise select_task_rq through
+    // a sleeping/waking ping task.
+    let setup = |sched: Box<dyn Scheduler>| {
+        let topo = Topology::opteron_6172();
+        let mut k = Kernel::new(topo, SimConfig::with_seed(1), sched);
+        let mut threads: Vec<ThreadSpec> = (0..48)
+            .map(|i| ThreadSpec::new(format!("w{i}"), cpu_hog(Dur::secs(60), Dur::millis(5))))
+            .collect();
+        threads.push(ThreadSpec::new(
+            "ping",
+            kernel::from_fn(|_ctx| kernel::Action::Sleep(Dur::micros(200))),
+        ));
+        k.queue_app(Time::ZERO, AppSpec::new("bg", threads));
+        k
+    };
+    g.bench_function("cfs_100ms_of_pings", |b| {
+        let topo = Topology::opteron_6172();
+        let mut k = setup(Box::new(Cfs::new(&topo)));
+        b.iter(|| {
+            let t = k.now() + Dur::millis(100);
+            k.run_until(t);
+            k.counters().wakeups
+        })
+    });
+    g.bench_function("ule_100ms_of_pings", |b| {
+        let topo = Topology::opteron_6172();
+        let mut k = setup(Box::new(Ule::new(&topo)));
+        b.iter(|| {
+            let t = k.now() + Dur::millis(100);
+            k.run_until(t);
+            k.counters().placement_scans
+        })
+    });
+    g.finish();
+}
+
+/// RNG throughput (sanity; it must never be a bottleneck).
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("simrng_1k_draws", |b| {
+        let mut rng = SimRng::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.gen_below(1000));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_pelt,
+    bench_interactivity,
+    bench_busy_second,
+    bench_placement,
+    bench_rng
+);
+criterion_main!(micro);

@@ -1,0 +1,14 @@
+//! Criterion benchmark harness.
+//!
+//! Two suites:
+//!
+//! * `paper_experiments` — one benchmark per table/figure of the paper,
+//!   running the corresponding experiment driver at a reduced scale. These
+//!   keep the regeneration paths hot and measure simulator throughput; the
+//!   full paper-sized regenerations are produced by the `battle` binary
+//!   (`cargo run --release -p experiments --bin battle -- all`).
+//! * `scheduler_micro` — micro-benchmarks of the scheduler hot paths
+//!   (enqueue/pick/put, placement scans, balancing passes) and of the
+//!   simulation substrate (event queue, PELT math, interactivity scoring).
+
+pub use experiments;

@@ -1,0 +1,193 @@
+//! Hierarchical load balancing.
+//!
+//! §2.1: "Load balancing also happens periodically. Every 4ms every core
+//! tries to steal work from other cores. This load balancing takes into
+//! account the topology of the machine (...). When a core decides to steal
+//! work from another core, it tries to even out the load between the two
+//! cores by stealing as many as 32 threads. Cores also immediately call the
+//! periodic load balancer when they become idle." Between NUMA nodes, "if
+//! the load difference between the nodes is small (less than 25% in
+//! practice), then no load balancing is performed."
+
+use sched_api::{DequeueKind, EnqueueKind, Scheduler, SelectStats, TaskTable, Tid};
+use simcore::Time;
+use topology::CpuId;
+
+use crate::Cfs;
+
+impl Cfs {
+    /// Periodic balancing opportunity on `cpu`'s tick: walk its domains,
+    /// balance each whose interval expired (if this CPU is the designated
+    /// balancer of its group). Returns the destination CPU once per task
+    /// migrated, so the kernel can reschedule it.
+    pub(crate) fn periodic_balance(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+    ) -> Vec<CpuId> {
+        let mut out = Vec::new();
+        for di in 0..self.domains[cpu.index()].len() {
+            {
+                let ds = &mut self.domains[cpu.index()][di];
+                if now < ds.next_balance {
+                    continue;
+                }
+                ds.next_balance = now + ds.interval;
+            }
+            if !self.should_we_balance(cpu, di) {
+                continue;
+            }
+            let moved = self.load_balance(tasks, cpu, di, now);
+            for _ in 0..moved {
+                out.push(cpu);
+            }
+        }
+        out
+    }
+
+    /// Newidle balancing: the CPU just went idle and tries to pull work
+    /// immediately, walking its domains from closest to farthest.
+    pub(crate) fn newidle_balance(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> bool {
+        for di in 0..self.domains[cpu.index()].len() {
+            // Linux does not set SD_BALANCE_NEWIDLE on NUMA domains: a
+            // newly idle CPU only pulls from within its node; cross-node
+            // imbalance is left to the (25%-tolerant) periodic balancer.
+            if self.domains[cpu.index()][di].dom.level == topology::Level::Machine
+                && self.topo.nr_nodes() > 1
+            {
+                break;
+            }
+            stats.cpus_scanned += self.domains[cpu.index()][di].dom.span.len() as u32;
+            if self.load_balance(tasks, cpu, di, now) > 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Only one CPU per group balances a domain: the first idle CPU of the
+    /// local group, or the group's first CPU if none is idle
+    /// (`should_we_balance`).
+    fn should_we_balance(&self, cpu: CpuId, di: usize) -> bool {
+        let dom = &self.domains[cpu.index()][di].dom;
+        let local = dom
+            .groups
+            .iter()
+            .find(|g| g.contains(&cpu))
+            .expect("cpu in its own domain");
+        for &c in local {
+            if self.cpus[c.index()].h_nr == 0 {
+                return c == cpu;
+            }
+        }
+        local[0] == cpu
+    }
+
+    /// One balancing pass of domain `di` with `dst` as the pulling CPU.
+    /// Returns the number of tasks migrated.
+    fn load_balance(&mut self, tasks: &mut TaskTable, dst: CpuId, di: usize, now: Time) -> usize {
+        let (groups, pct, nr_failed) = {
+            let ds = &self.domains[dst.index()][di];
+            (ds.dom.groups.clone(), ds.imbalance_pct, ds.nr_failed)
+        };
+        // Bring every involved CPU's load average up to date.
+        for g in &groups {
+            for &c in g {
+                self.refresh_load(c, now);
+            }
+        }
+        // Per-group statistics.
+        let gload: Vec<u64> = groups
+            .iter()
+            .map(|g| g.iter().map(|c| self.cpu_load(*c)).sum())
+            .collect();
+        let gnr: Vec<usize> = groups
+            .iter()
+            .map(|g| g.iter().map(|c| self.cpus[c.index()].h_nr).sum())
+            .collect();
+        let local_idx = groups
+            .iter()
+            .position(|g| g.contains(&dst))
+            .expect("dst in domain");
+        let local_avg = gload[local_idx] * 1024 / groups[local_idx].len() as u64;
+
+        // Find the busiest other group by average load.
+        let mut busiest: Option<(usize, u64)> = None;
+        for (i, g) in groups.iter().enumerate() {
+            if i == local_idx || gnr[i] == 0 {
+                continue;
+            }
+            let avg = gload[i] * 1024 / g.len() as u64;
+            match busiest {
+                None => busiest = Some((i, avg)),
+                Some((_, b)) if avg > b => busiest = Some((i, avg)),
+                _ => {}
+            }
+        }
+        let Some((bi, busiest_avg)) = busiest else {
+            return 0;
+        };
+        // The imbalance threshold: e.g. 125 between NUMA nodes means the
+        // busiest group must exceed the local group by 25 % to bother.
+        if busiest_avg * 100 <= local_avg * pct {
+            return 0;
+        }
+        // Busiest CPU inside the busiest group, preferring load then queue
+        // length (a spinner-storm CPU wins both ways).
+        let src = groups[bi]
+            .iter()
+            .copied()
+            .max_by_key(|c| (self.cpu_load(*c), self.cpus[c.index()].h_nr))
+            .expect("nonempty group");
+        if self.cpus[src.index()].h_nr <= 1 {
+            self.domains[dst.index()][di].nr_failed += 1;
+            return 0;
+        }
+
+        // Even out the pair: move up to half the load difference, capped at
+        // 32 tasks per pass.
+        let imbalance = self.cpu_load(src).saturating_sub(self.cpu_load(dst)) / 2;
+        let mut moved = 0usize;
+        let mut moved_load = 0u64;
+        let candidates: Vec<Tid> = self.queued_tids(src).into_iter().rev().collect();
+        for tid in candidates {
+            if moved >= self.p.max_migrate || moved_load >= imbalance {
+                break;
+            }
+            // Never more tasks than would invert the queue-length balance.
+            if self.cpus[src.index()].h_nr <= self.cpus[dst.index()].h_nr + 1 {
+                break;
+            }
+            let task = tasks.get(tid);
+            if !task.allowed_on(dst) {
+                continue;
+            }
+            // Cache-hot tasks resist migration until balancing has failed
+            // repeatedly (`task_hot` + `cache_nice_tries`).
+            let hot = now.saturating_since(task.last_ran) < self.p.migration_cost;
+            if hot && nr_failed <= self.p.cache_nice_tries {
+                continue;
+            }
+            let w_moved = self.tent(tid).ent.weight;
+            self.dequeue_task(tasks, src, tid, DequeueKind::Migrate, now);
+            tasks.get_mut(tid).cpu = dst;
+            self.enqueue_task(tasks, dst, tid, EnqueueKind::Migrate, now);
+            moved += 1;
+            moved_load += w_moved;
+        }
+        let ds = &mut self.domains[dst.index()][di];
+        if moved == 0 {
+            ds.nr_failed += 1;
+        } else {
+            ds.nr_failed = 0;
+        }
+        moved
+    }
+}

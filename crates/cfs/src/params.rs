@@ -1,0 +1,99 @@
+//! CFS tunables, with the values the paper reports for Linux 4.9.
+
+use simcore::Dur;
+
+/// CFS configuration. Defaults follow §2.1 of the paper.
+#[derive(Debug, Clone)]
+pub struct CfsParams {
+    /// Scheduling period for up to [`CfsParams::nr_latency`] runnable
+    /// threads: "for a core executing fewer than 8 threads the default time
+    /// period is 48ms".
+    pub sched_latency: Dur,
+    /// Threads beyond which the period grows linearly: "6 ∗ number of
+    /// threads ms" — the per-thread minimum slice.
+    pub min_granularity: Dur,
+    /// Runnable-thread count at which the period starts stretching.
+    pub nr_latency: usize,
+    /// Wakeup preemption granularity: "if the difference is not significant
+    /// (less than 1ms), the current running thread is not preempted".
+    pub wakeup_granularity: Dur,
+    /// Sleeper placement bonus: a waking thread's vruntime is clamped to at
+    /// least `min_vruntime − sleeper_bonus` (GENTLE_FAIR_SLEEPERS), so
+    /// "threads that sleep a lot are scheduled first".
+    pub sleeper_bonus: Dur,
+    /// Base periodic balancing interval: "every 4ms every core tries to
+    /// steal work from other cores".
+    pub balance_interval: Dur,
+    /// Interval multiplier per domain level above the lowest (balancing is
+    /// less frequent between remote cores).
+    pub interval_scaling: u64,
+    /// Imbalance threshold inside a node (Linux `imbalance_pct` 117 ≈ small
+    /// tolerance; we use 110 for intra-LLC domains).
+    pub imbalance_pct_llc: u64,
+    /// Imbalance threshold between NUMA nodes: "if the load difference
+    /// between the nodes is small (less than 25% in practice), then no load
+    /// balancing is performed".
+    pub imbalance_pct_numa: u64,
+    /// Maximum tasks migrated in one balancing pass: "stealing as many as
+    /// 32 threads".
+    pub max_migrate: usize,
+    /// Tasks that ran within this span are considered cache-hot and resist
+    /// migration (Linux `sysctl_sched_migration_cost`).
+    pub migration_cost: Dur,
+    /// Failed-balance attempts after which cache-hotness is overridden.
+    pub cache_nice_tries: u32,
+    /// Default cgroup shares (`NICE_0_LOAD`): every application group gets
+    /// an equal share, which is what makes CFS fair *between applications*.
+    pub group_shares: u64,
+    /// Enable the per-application cgroup hierarchy (Linux ≥ 2.6.38
+    /// behaviour described in §2.1). Disabling reverts to per-thread
+    /// fairness, used by the ablation benches.
+    pub cgroups: bool,
+}
+
+impl Default for CfsParams {
+    fn default() -> Self {
+        CfsParams {
+            sched_latency: Dur::millis(48),
+            min_granularity: Dur::millis(6),
+            nr_latency: 8,
+            wakeup_granularity: Dur::millis(1),
+            sleeper_bonus: Dur::millis(24),
+            balance_interval: Dur::millis(4),
+            interval_scaling: 2,
+            imbalance_pct_llc: 110,
+            imbalance_pct_numa: 125,
+            max_migrate: 32,
+            migration_cost: Dur::micros(500),
+            cache_nice_tries: 1,
+            group_shares: 1024,
+            cgroups: true,
+        }
+    }
+}
+
+impl CfsParams {
+    /// The scheduling period for `nr` runnable threads (§2.1): 48 ms up to
+    /// 8 threads, then 6 ms × nr.
+    pub fn period(&self, nr: usize) -> Dur {
+        if nr <= self.nr_latency {
+            self.sched_latency
+        } else {
+            self.min_granularity.saturating_mul(nr as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_matches_paper() {
+        let p = CfsParams::default();
+        assert_eq!(p.period(1), Dur::millis(48));
+        assert_eq!(p.period(8), Dur::millis(48));
+        assert_eq!(p.period(9), Dur::millis(54));
+        assert_eq!(p.period(100), Dur::millis(600));
+    }
+}

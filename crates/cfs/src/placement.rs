@@ -1,0 +1,175 @@
+//! Thread placement: `select_task_rq_fair`.
+//!
+//! §2.1 of the paper: "The scheduler first decides which cores are suitable
+//! to host the thread. ... if CFS detects a 1-to-many producer-consumer
+//! pattern, then it spreads out the consumer threads as much as possible
+//! (...). In a 1-to-1 communication pattern, CFS restricts the list of
+//! suitable cores to cores sharing a cache with the thread that initiated
+//! the wakeup. Then, among all suitable cores, CFS chooses the core with the
+//! lowest load."
+//!
+//! This module implements Linux's `wake_wide` flip heuristic, the
+//! `wake_affine` waker-vs-prev choice, `select_idle_sibling` within the LLC,
+//! and idlest-CPU search for forks and wide wakeups.
+
+use sched_api::{SelectStats, TaskTable, Tid, WakeKind};
+use simcore::{Dur, Time};
+use topology::CpuId;
+
+use crate::Cfs;
+
+impl Cfs {
+    /// Entry point used by `select_task_rq`.
+    pub(crate) fn select_cpu(
+        &mut self,
+        tasks: &TaskTable,
+        tid: Tid,
+        kind: WakeKind,
+        waking_cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> CpuId {
+        match kind {
+            WakeKind::New => self.find_idlest(tasks, tid, now, stats),
+            WakeKind::Wakeup { waker } => {
+                let prev = tasks.get(tid).last_cpu;
+                let wide = match waker {
+                    Some(w) if tasks.contains(w) => {
+                        self.record_wakee(w, tid, now);
+                        self.wake_wide(w, tid, waking_cpu)
+                    }
+                    _ => false,
+                };
+                if wide {
+                    // 1-to-many pattern: spread over the whole machine.
+                    return self.find_idlest(tasks, tid, now, stats);
+                }
+                // 1-to-1 pattern: stay near the waker if its CPU is not
+                // more loaded than where the wakee slept. The comparison
+                // uses instantaneous runnable weight (as Linux's
+                // wake_affine effectively counts the running waker), so a
+                // CPU that just became busy is not mistaken for idle.
+                let task = tasks.get(tid);
+                let target = if task.allowed_on(waking_cpu)
+                    && self.cpus[waking_cpu.index()].tw_sum < self.cpus[prev.index()].tw_sum
+                {
+                    waking_cpu
+                } else if task.allowed_on(prev) {
+                    prev
+                } else {
+                    self.first_allowed(tasks, tid)
+                };
+                self.select_idle_sibling(tasks, tid, target, stats)
+            }
+        }
+    }
+
+    /// Load of a CPU as seen by placement and balancing: the decaying
+    /// runqueue load average (refresh with [`Cfs::refresh_load`] first).
+    pub(crate) fn cpu_load(&self, cpu: CpuId) -> u64 {
+        self.cpus[cpu.index()].load.avg()
+    }
+
+    /// Bring a CPU's load average up to `now`.
+    pub(crate) fn refresh_load(&mut self, cpu: CpuId, now: Time) {
+        let c = &mut self.cpus[cpu.index()];
+        let tw = c.tw_sum;
+        c.load.update(now, tw);
+    }
+
+    fn first_allowed(&self, tasks: &TaskTable, tid: Tid) -> CpuId {
+        let task = tasks.get(tid);
+        self.topo
+            .all_cpus()
+            .find(|&c| task.allowed_on(c))
+            .expect("task with empty affinity mask")
+    }
+
+    /// Track whether `waker` keeps waking the same task or many different
+    /// ones (`record_wakee`): flips decay by half every second.
+    pub(crate) fn record_wakee(&mut self, waker: Tid, wakee: Tid, now: Time) {
+        let te = self.tent_mut(waker);
+        while now.saturating_since(te.wakee_decay) >= Dur::secs(1) {
+            te.wakee_flips /= 2;
+            te.wakee_decay += Dur::secs(1);
+            if te.wakee_flips == 0 {
+                te.wakee_decay = now;
+                break;
+            }
+        }
+        if te.last_wakee != Some(wakee) {
+            te.last_wakee = Some(wakee);
+            te.wakee_flips += 1;
+        }
+    }
+
+    /// Linux's `wake_wide`: detect 1-to-many producer/consumer wakeups.
+    pub(crate) fn wake_wide(&self, waker: Tid, wakee: Tid, waking_cpu: CpuId) -> bool {
+        let factor = self.topo.llc_cpus(waking_cpu).len() as u32;
+        let mut master = self.tent(waker).wakee_flips;
+        let mut slave = self.tent(wakee).wakee_flips;
+        if master < slave {
+            std::mem::swap(&mut master, &mut slave);
+        }
+        slave >= factor && master >= slave.saturating_mul(factor)
+    }
+
+    /// Linux's `select_idle_sibling`: prefer `target` if idle, otherwise an
+    /// idle CPU sharing `target`'s LLC, otherwise `target` itself.
+    pub(crate) fn select_idle_sibling(
+        &self,
+        tasks: &TaskTable,
+        tid: Tid,
+        target: CpuId,
+        stats: &mut SelectStats,
+    ) -> CpuId {
+        let task = tasks.get(tid);
+        stats.cpus_scanned += 1;
+        if task.allowed_on(target) && self.cpus[target.index()].h_nr == 0 {
+            return target;
+        }
+        for &c in self.topo.llc_cpus(target) {
+            stats.cpus_scanned += 1;
+            if c != target && task.allowed_on(c) && self.cpus[c.index()].h_nr == 0 {
+                return c;
+            }
+        }
+        if task.allowed_on(target) {
+            target
+        } else {
+            self.first_allowed(tasks, tid)
+        }
+    }
+
+    /// Lowest-load CPU among the allowed ones (fork placement and wide
+    /// wakeups; `find_idlest_group`/`find_idlest_cpu` collapsed onto the
+    /// flat CPU set).
+    pub(crate) fn find_idlest(
+        &mut self,
+        tasks: &TaskTable,
+        tid: Tid,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> CpuId {
+        let task = tasks.get(tid);
+        // Linux's find_idlest_cpu compares load averages only; the blocked
+        // residue of sleeping tasks blurs the comparison, which is exactly
+        // how CFS ends up doubling threads onto one core (§6.3).
+        let mut best: Option<(u64, CpuId)> = None;
+        let all: Vec<CpuId> = self.topo.all_cpus().collect();
+        for c in all {
+            if !task.allowed_on(c) {
+                continue;
+            }
+            self.refresh_load(c, now);
+            stats.cpus_scanned += 1;
+            let key = (self.cpu_load(c), c);
+            match best {
+                None => best = Some(key),
+                Some(b) if (key.0, key.1 .0) < (b.0, b.1 .0) => best = Some(key),
+                _ => {}
+            }
+        }
+        best.expect("task with empty affinity mask").1
+    }
+}

@@ -1,0 +1,168 @@
+//! Direct tests of CFS placement through the scheduling-class API
+//! (no simulated kernel): fork spreading, wake affinity, wide wakeups.
+
+use cfs::Cfs;
+use sched_api::{
+    DequeueKind, EnqueueKind, GroupId, Scheduler, SelectStats, Task, TaskState, TaskTable, Tid,
+    WakeKind,
+};
+use simcore::{Dur, Time};
+use topology::{CpuId, Topology};
+
+fn mk_task(tasks: &mut TaskTable, cfs: &mut Cfs, name: &str, now: Time) -> Tid {
+    let tid = tasks.insert_with(|t| Task::new(t, name, GroupId(1)));
+    cfs.task_fork(tasks, tid, None, now);
+    tid
+}
+
+/// Place a new task, enqueue it where the scheduler says, mark it running
+/// state bookkeeping minimally.
+fn place_new(tasks: &mut TaskTable, cfs: &mut Cfs, tid: Tid, now: Time) -> CpuId {
+    let mut stats = SelectStats::default();
+    let cpu = cfs.select_task_rq(tasks, tid, WakeKind::New, CpuId(0), now, &mut stats);
+    let t = tasks.get_mut(tid);
+    t.cpu = cpu;
+    t.state = TaskState::Runnable;
+    t.on_rq = true;
+    cfs.enqueue_task(tasks, cpu, tid, EnqueueKind::New, now);
+    cpu
+}
+
+#[test]
+fn forked_tasks_spread_over_idle_cpus() {
+    let topo = Topology::flat(4);
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let mut used = std::collections::HashSet::new();
+    for i in 0..4 {
+        let tid = mk_task(&mut tasks, &mut cfs, &format!("t{i}"), now);
+        let cpu = place_new(&mut tasks, &mut cfs, tid, now);
+        used.insert(cpu);
+    }
+    assert_eq!(used.len(), 4, "4 fresh tasks must land on 4 distinct CPUs");
+    for c in topo.all_cpus() {
+        assert_eq!(cfs.nr_queued(c), 1);
+    }
+}
+
+#[test]
+fn select_counts_scanned_cpus() {
+    let topo = Topology::flat(8);
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let tid = mk_task(&mut tasks, &mut cfs, "t", now);
+    let mut stats = SelectStats::default();
+    cfs.select_task_rq(&tasks, tid, WakeKind::New, CpuId(0), now, &mut stats);
+    assert!(
+        stats.cpus_scanned >= 8,
+        "fork placement scans the machine: {}",
+        stats.cpus_scanned
+    );
+}
+
+#[test]
+fn pick_put_round_trip_preserves_accounting() {
+    let topo = Topology::single_core();
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let a = mk_task(&mut tasks, &mut cfs, "a", now);
+    let b = mk_task(&mut tasks, &mut cfs, "b", now);
+    for &t in &[a, b] {
+        let tt = tasks.get_mut(t);
+        tt.cpu = CpuId(0);
+        tt.state = TaskState::Runnable;
+        cfs.enqueue_task(&mut tasks, CpuId(0), t, EnqueueKind::New, now);
+    }
+    assert_eq!(cfs.nr_queued(CpuId(0)), 2);
+
+    let picked = cfs.pick_next_task(&mut tasks, CpuId(0), now).unwrap();
+    assert_eq!(cfs.nr_queued(CpuId(0)), 2, "running task stays counted");
+    assert_eq!(cfs.queued_tids(CpuId(0)).len(), 1);
+
+    let later = now + Dur::millis(10);
+    cfs.put_prev_task(&mut tasks, CpuId(0), picked, later);
+    assert_eq!(cfs.queued_tids(CpuId(0)).len(), 2);
+
+    // After running 10ms, the previous task's vruntime exceeds the
+    // waiter's, so the waiter is picked next.
+    let next = cfs.pick_next_task(&mut tasks, CpuId(0), later).unwrap();
+    assert_ne!(next, picked, "fairness: the other task runs next");
+}
+
+#[test]
+fn sleep_and_wake_keeps_task_affine_when_quiet() {
+    let topo = Topology::flat(4);
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let tid = mk_task(&mut tasks, &mut cfs, "t", now);
+    let cpu = place_new(&mut tasks, &mut cfs, tid, now);
+    // Run it briefly, then sleep.
+    let picked = cfs.pick_next_task(&mut tasks, cpu, now).unwrap();
+    assert_eq!(picked, tid);
+    tasks.get_mut(tid).last_cpu = cpu;
+    let t1 = now + Dur::millis(5);
+    cfs.dequeue_task(&mut tasks, cpu, tid, DequeueKind::Sleep, t1);
+    {
+        let t = tasks.get_mut(tid);
+        t.state = TaskState::Sleeping;
+        t.sleep_start = t1;
+        t.on_rq = false;
+    }
+    // Wake on an idle machine: it returns to (or near) its previous CPU.
+    let t2 = t1 + Dur::millis(50);
+    let mut stats = SelectStats::default();
+    let target = cfs.select_task_rq(
+        &tasks,
+        tid,
+        WakeKind::Wakeup { waker: None },
+        cpu,
+        t2,
+        &mut stats,
+    );
+    assert_eq!(target, cpu, "quiet machine: stay where the cache is");
+}
+
+#[test]
+fn cgroup_weight_splits_between_apps() {
+    // Two groups with 1 and 3 runnable tasks on one CPU: picking
+    // repeatedly over a simulated run must alternate between groups more
+    // evenly than between threads.
+    let topo = Topology::single_core();
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let solo = tasks.insert_with(|t| Task::new(t, "solo", GroupId(1)));
+    cfs.task_fork(&tasks, solo, None, now);
+    let mut many = Vec::new();
+    for i in 0..3 {
+        let m = tasks.insert_with(|t| Task::new(t, format!("m{i}"), GroupId(2)));
+        cfs.task_fork(&tasks, m, None, now);
+        many.push(m);
+    }
+    for &t in std::iter::once(&solo).chain(many.iter()) {
+        let tt = tasks.get_mut(t);
+        tt.cpu = CpuId(0);
+        tt.state = TaskState::Runnable;
+        cfs.enqueue_task(&mut tasks, CpuId(0), t, EnqueueKind::New, now);
+    }
+    // Simulate 1ms-at-a-time picks for 400 steps.
+    let mut t = now;
+    let mut solo_runs = 0;
+    for _ in 0..400 {
+        let picked = cfs.pick_next_task(&mut tasks, CpuId(0), t).unwrap();
+        t += Dur::millis(1);
+        if picked == solo {
+            solo_runs += 1;
+        }
+        cfs.put_prev_task(&mut tasks, CpuId(0), picked, t);
+    }
+    let share = solo_runs as f64 / 400.0;
+    assert!(
+        (0.35..=0.65).contains(&share),
+        "the solo app should get ~half the CPU, got {share:.2}"
+    );
+}

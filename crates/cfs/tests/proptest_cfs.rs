@@ -1,0 +1,97 @@
+//! Property tests of CFS's building blocks.
+
+use cfs::entity::{CfsRq, EntKey, Entity};
+use cfs::pelt::{decay_load, Pelt, RqLoad};
+use proptest::prelude::*;
+use sched_api::{weights, Tid};
+use simcore::{Dur, Time};
+
+proptest! {
+    /// min_vruntime never decreases, under arbitrary insert/remove orders.
+    #[test]
+    fn min_vruntime_monotone(ops in prop::collection::vec((any::<bool>(), 0u64..1_000_000), 1..200)) {
+        let mut rq = CfsRq::default();
+        let mut queued: Vec<(u64, u32)> = Vec::new();
+        let mut next = 0u32;
+        let mut last_min = 0u64;
+        for (insert, v) in ops {
+            if insert || queued.is_empty() {
+                rq.insert(EntKey::Task(Tid(next)), v, 1024);
+                queued.push((v, next));
+                next += 1;
+            } else {
+                let (v, id) = queued.swap_remove(v as usize % queued.len());
+                rq.remove(EntKey::Task(Tid(id)), v, 1024);
+            }
+            rq.refresh_min_vruntime(None);
+            prop_assert!(rq.min_vruntime >= last_min, "min_vruntime went backward");
+            last_min = rq.min_vruntime;
+        }
+    }
+
+    /// The tree's weight accounting matches the queued set exactly.
+    #[test]
+    fn rq_weight_conservation(weights_in in prop::collection::vec(1u64..90_000, 1..100)) {
+        let mut rq = CfsRq::default();
+        let mut total = 0u64;
+        for (i, &w) in weights_in.iter().enumerate() {
+            rq.insert(EntKey::Task(Tid(i as u32)), i as u64, w);
+            total += w;
+        }
+        prop_assert_eq!(rq.weight_sum, total);
+        for (i, &w) in weights_in.iter().enumerate() {
+            rq.remove(EntKey::Task(Tid(i as u32)), i as u64, w);
+            total -= w;
+            prop_assert_eq!(rq.weight_sum, total);
+        }
+        prop_assert!(rq.is_empty());
+    }
+
+    /// vruntime progression is inversely proportional to weight: for any
+    /// delta, a heavier entity advances no faster than a lighter one.
+    #[test]
+    fn vruntime_inverse_weight(nice_a in -20i32..=19, nice_b in -20i32..=19, ms in 1u64..10_000) {
+        let wa = weights::nice_to_weight(nice_a);
+        let wb = weights::nice_to_weight(nice_b);
+        let ea = Entity::new(wa, Time::ZERO);
+        let eb = Entity::new(wb, Time::ZERO);
+        let d = Dur::millis(ms);
+        let (va, vb) = (ea.calc_delta_fair(d), eb.calc_delta_fair(d));
+        if wa >= wb {
+            prop_assert!(va <= vb, "heavier weight must accrue vruntime no faster");
+        }
+    }
+
+    /// PELT's average is always within [0, 1024] and decay never increases
+    /// a value.
+    #[test]
+    fn pelt_bounds(steps in prop::collection::vec((any::<bool>(), 1u64..50), 1..200)) {
+        let mut p = Pelt::new_zero(Time::ZERO);
+        let mut t = Time::ZERO;
+        for (runnable, ms) in steps {
+            t += Dur::millis(ms);
+            p.update(t, runnable);
+            prop_assert!(p.avg() <= 1024, "avg {} out of range", p.avg());
+        }
+    }
+
+    /// decay_load is monotone in both arguments.
+    #[test]
+    fn decay_monotone(val in 0u64..1_000_000, n in 0u64..200) {
+        prop_assert!(decay_load(val, n) <= val);
+        prop_assert!(decay_load(val, n + 1) <= decay_load(val, n));
+    }
+
+    /// RqLoad converges toward its target and stays non-negative.
+    #[test]
+    fn rq_load_tracks_target(target in 0u64..2_000_000, ms in 100u64..2_000) {
+        let mut l = RqLoad::default();
+        l.update(Time::ZERO + Dur::millis(ms), target);
+        // After enough time the average is between 0 and the target.
+        prop_assert!(l.avg() <= target);
+        // Long exposure converges close to the target.
+        l.update(Time::ZERO + Dur::millis(ms) + Dur::secs(2), target);
+        let err = target.abs_diff(l.avg());
+        prop_assert!(err <= target / 64 + 1, "err {err} target {target}");
+    }
+}

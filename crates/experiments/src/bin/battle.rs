@@ -1,0 +1,187 @@
+//! `battle` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! battle <experiment> [--scale S] [--seed N] [--json PATH]
+//!
+//! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 all
+//! ```
+//!
+//! `--scale` shrinks work volumes (default 1.0 = paper-sized runs; use
+//! e.g. 0.1 for a quick pass). Results print as ASCII tables/charts and can
+//! additionally be dumped as JSON.
+
+use std::io::Write;
+
+use experiments::{
+    ablations, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, table1, table2, RunCfg,
+};
+
+struct Args {
+    experiment: String,
+    cfg: RunCfg,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut cfg = RunCfg::default();
+    let mut json = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("missing value for --scale")?;
+                cfg.scale = v.parse().map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("missing value for --seed")?;
+                cfg.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--json" => json = Some(args.next().ok_or("missing value for --json")?),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        experiment,
+        cfg,
+        json,
+    })
+}
+
+fn usage() -> String {
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|all> \
+     [--scale S] [--seed N] [--json PATH]"
+        .to_string()
+}
+
+fn dump_json(path: &Option<String>, value: &impl serde::Serialize) {
+    if let Some(p) = path {
+        let s = serde_json::to_string_pretty(value).expect("serializable");
+        std::fs::write(p, s).unwrap_or_else(|e| eprintln!("cannot write {p}: {e}"));
+    }
+}
+
+fn print_validation(name: &str, problems: Vec<String>) {
+    if problems.is_empty() {
+        println!("[{name}] shape checks: OK");
+    } else {
+        for p in &problems {
+            println!("[{name}] shape check FAILED: {p}");
+        }
+    }
+}
+
+fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>) {
+    match name {
+        "table1" => {
+            print!("{}", table1::report());
+        }
+        "fig1" => {
+            let fig = fig1::run_both(cfg);
+            print!("{}", fig1::report(&fig));
+            print_validation("fig1", fig1::validate(&fig));
+            dump_json(json, &fig);
+        }
+        "fig2" => {
+            let ule = fig2::run(cfg);
+            print!("{}", fig2::report(&ule));
+            print_validation("fig2", fig2::validate(&ule));
+            dump_json(json, &ule);
+        }
+        "table2" => {
+            let fig = table2::run(cfg);
+            print!("{}", table2::report(&fig));
+            dump_json(json, &fig);
+        }
+        "fig3" | "fig4" | "fig34" => {
+            let f = fig34::run(cfg);
+            print!("{}", fig34::report(&f));
+            print_validation("fig3/4", fig34::validate(&f));
+            dump_json(json, &f);
+        }
+        "fig5" => {
+            let cmp = fig5::run(cfg);
+            print!("{}", fig5::report(&cmp));
+            print_validation("fig5", fig5::validate(&cmp));
+            dump_json(json, &cmp);
+        }
+        "fig6" => {
+            let fig = fig6::run_both(cfg);
+            print!("{}", fig6::report(&fig));
+            let nthreads = ((512.0 * cfg.scale).round() as u32).max(64);
+            print_validation("fig6", fig6::validate(&fig, nthreads, 32));
+            dump_json(json, &fig);
+        }
+        "fig7" => {
+            let fig = fig7::run_both(cfg);
+            print!("{}", fig7::report(&fig));
+            print_validation("fig7", fig7::validate(&fig));
+            dump_json(json, &fig);
+        }
+        "fig8" => {
+            let cmp = fig8::run(cfg);
+            print!("{}", fig8::report(&cmp));
+            print_validation("fig8", fig8::validate(&cmp));
+            dump_json(json, &cmp);
+        }
+        "fig9" => {
+            let fig = fig9::run(cfg);
+            print!("{}", fig9::report(&fig));
+            print_validation("fig9", fig9::validate(&fig));
+            dump_json(json, &fig);
+        }
+        "ablations" => {
+            let a = ablations::run(cfg);
+            print!("{}", ablations::report(&a));
+            print_validation("ablations", ablations::validate(&a));
+            dump_json(json, &a);
+        }
+        "desktop" => {
+            let d = desktop::run(cfg);
+            print!("{}", desktop::report(&d));
+            print_validation("desktop", desktop::validate(&d));
+            dump_json(json, &d);
+        }
+        other => {
+            eprintln!("unknown experiment {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+    std::io::stdout().flush().ok();
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.experiment == "all" {
+        for name in [
+            "table1",
+            "fig1",
+            "fig2",
+            "table2",
+            "fig34",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablations",
+            "desktop",
+        ] {
+            println!("════════════════════════ {name} ════════════════════════");
+            run_one(
+                name,
+                &args.cfg,
+                &args.json.as_ref().map(|p| format!("{p}.{name}.json")),
+            );
+            println!();
+        }
+    } else {
+        run_one(&args.experiment, &args.cfg, &args.json);
+    }
+}

@@ -1,0 +1,223 @@
+//! Figure 1 (and the data behind Figure 2 / Table 2): fibo + sysbench on a
+//! single core.
+//!
+//! "Fibo runs alone for 7 seconds, and then sysbench is launched. Both
+//! applications then run to completion." On CFS both share the core
+//! (cgroup fairness gives each application ~50%); on ULE the 80 sysbench
+//! workers are classified interactive and fibo starves until sysbench
+//! completes (§5.1).
+
+use metrics::TimeSeries;
+use simcore::{Dur, Time};
+use workloads::{synthetic, sysbench::SysbenchCfg};
+
+use crate::{make_kernel, RunCfg, Sched};
+
+/// One scheduler's run of the experiment.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig1Run {
+    /// Scheduler used.
+    pub sched: Sched,
+    /// Cumulative CPU runtime of fibo (seconds), sampled once per second.
+    pub fibo_runtime: TimeSeries,
+    /// Cumulative CPU runtime summed over sysbench's threads.
+    pub sysbench_runtime: TimeSeries,
+    /// ULE interactivity penalty of fibo over time (empty under CFS).
+    pub fibo_penalty: TimeSeries,
+    /// Mean ULE penalty of sysbench workers over time (empty under CFS).
+    pub sysbench_penalty: TimeSeries,
+    /// When sysbench completed (seconds), if it did.
+    pub sysbench_done_s: Option<f64>,
+    /// When fibo completed (seconds), if it did.
+    pub fibo_done_s: Option<f64>,
+    /// Sysbench transactions per second (Table 2).
+    pub sysbench_tx_per_s: f64,
+    /// Sysbench mean transaction latency in ms (Table 2).
+    pub sysbench_avg_latency_ms: f64,
+    /// Total CPU time consumed by fibo (Table 2's "Runtime").
+    pub fibo_runtime_total_s: f64,
+}
+
+/// Run the experiment under one scheduler.
+pub fn run(sched: Sched, cfg: &RunCfg) -> Fig1Run {
+    let topo = topology::Topology::single_core();
+    let mut k = make_kernel(&topo, sched, cfg.seed);
+
+    let fibo_work = Dur::secs_f64(160.0 * cfg.scale);
+    let fibo = k.queue_app(Time::ZERO, synthetic::fibo(fibo_work));
+
+    let sb_start = Time::ZERO + Dur::secs_f64(7.0 * cfg.scale);
+    let sb_cfg = SysbenchCfg {
+        threads: 80,
+        total_tx: ((260_000.0 * cfg.scale).round() as u64).max(500),
+        ..Default::default()
+    };
+    let spec = workloads::sysbench::sysbench(&mut k, sb_cfg);
+    let sysbench = k.queue_app(sb_start, spec);
+
+    let mut out = Fig1Run {
+        sched,
+        fibo_runtime: TimeSeries::new("fibo"),
+        sysbench_runtime: TimeSeries::new("sysbench"),
+        fibo_penalty: TimeSeries::new("fibo penalty"),
+        sysbench_penalty: TimeSeries::new("sysbench penalty"),
+        sysbench_done_s: None,
+        fibo_done_s: None,
+        sysbench_tx_per_s: 0.0,
+        sysbench_avg_latency_ms: 0.0,
+        fibo_runtime_total_s: 0.0,
+    };
+
+    let step = Dur::secs_f64((1.0 * cfg.scale).max(0.05));
+    let limit = Time::ZERO + Dur::secs_f64(420.0 * cfg.scale + 30.0);
+    let fibo_tid = {
+        k.run_until(Time::ZERO); // start apps at t=0
+        k.app_tasks(fibo)[0]
+    };
+    while k.now() < limit && !k.all_apps_done() {
+        let next = k.now() + step;
+        k.run_until(next);
+        out.fibo_runtime
+            .push(k.now(), k.task_runtime(fibo_tid).as_secs_f64());
+        let sb_tasks = k.app_tasks(sysbench);
+        let sb_rt: f64 = sb_tasks
+            .iter()
+            .map(|&t| k.task_runtime(t).as_secs_f64())
+            .sum();
+        out.sysbench_runtime.push(k.now(), sb_rt);
+        if sched == Sched::Ule {
+            if let Some(p) = k.snapshot(fibo_tid).ule_penalty {
+                out.fibo_penalty.push(k.now(), p as f64);
+            }
+            // Mean penalty over the (live) worker threads.
+            let (mut sum, mut n) = (0.0, 0u32);
+            for &t in sb_tasks.iter().skip(1) {
+                if let Some(p) = k.snapshot(t).ule_penalty {
+                    sum += p as f64;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                out.sysbench_penalty.push(k.now(), sum / n as f64);
+            }
+        }
+    }
+    out.sysbench_done_s = k.app(sysbench).elapsed().map(|d| d.as_secs_f64());
+    out.fibo_done_s = k.app(fibo).finished.map(|t| t.as_secs_f64());
+    out.sysbench_tx_per_s = k.app(sysbench).ops_per_sec(k.now());
+    out.sysbench_avg_latency_ms = k
+        .app(sysbench)
+        .avg_latency()
+        .map(|d| d.as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    out.fibo_runtime_total_s = k.task_runtime(fibo_tid).as_secs_f64();
+    out
+}
+
+/// The full figure: both schedulers.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig1 {
+    /// CFS run (Figure 1a).
+    pub cfs: Fig1Run,
+    /// ULE run (Figure 1b).
+    pub ule: Fig1Run,
+}
+
+/// Run both schedulers.
+pub fn run_both(cfg: &RunCfg) -> Fig1 {
+    Fig1 {
+        cfs: run(Sched::Cfs, cfg),
+        ule: run(Sched::Ule, cfg),
+    }
+}
+
+/// Render the two panels as ASCII charts.
+pub fn report(fig: &Fig1) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 1(a) — cumulative runtime on CFS\n");
+    s.push_str(&TimeSeries::ascii_chart(
+        &[&fig.cfs.fibo_runtime, &fig.cfs.sysbench_runtime],
+        72,
+        14,
+    ));
+    s.push_str("\nFigure 1(b) — cumulative runtime on ULE\n");
+    s.push_str(&TimeSeries::ascii_chart(
+        &[&fig.ule.fibo_runtime, &fig.ule.sysbench_runtime],
+        72,
+        14,
+    ));
+    s.push_str(&format!(
+        "\nsysbench completion: CFS {:?}s vs ULE {:?}s (paper: 235s vs 143s)\n",
+        fig.cfs.sysbench_done_s.map(|v| v.round()),
+        fig.ule.sysbench_done_s.map(|v| v.round()),
+    ));
+    s
+}
+
+/// Check the paper's qualitative claims; returns human-readable failures.
+pub fn validate(fig: &Fig1) -> Vec<String> {
+    let mut bad = Vec::new();
+    // (1) Under ULE, fibo is starved while sysbench runs: its runtime
+    // barely progresses between sysbench's start and completion.
+    if let Some(done) = fig.ule.sysbench_done_s {
+        let before = fig
+            .ule
+            .fibo_runtime
+            .points
+            .iter()
+            .find(|&&(t, _)| t >= 0.05 * done)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        let at_done = fig
+            .ule
+            .fibo_runtime
+            .points
+            .iter()
+            .take_while(|&&(t, _)| t <= done)
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        let span = 0.9 * done;
+        if (at_done - before) > 0.15 * span {
+            bad.push(format!(
+                "ULE: fibo not starved (gained {:.1}s over {:.1}s)",
+                at_done - before,
+                span
+            ));
+        }
+    } else {
+        bad.push("ULE: sysbench never completed".into());
+    }
+    // (2) Under CFS, fibo keeps progressing while sysbench runs.
+    if let Some(done) = fig.cfs.sysbench_done_s {
+        let at_done = fig
+            .cfs
+            .fibo_runtime
+            .points
+            .iter()
+            .take_while(|&&(t, _)| t <= done)
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        if at_done < 0.25 * done {
+            bad.push(format!(
+                "CFS: fibo starved ({at_done:.1}s runtime in {done:.1}s)"
+            ));
+        }
+    } else {
+        bad.push("CFS: sysbench never completed".into());
+    }
+    // (3) Sysbench is roughly twice as fast on ULE.
+    let (c, u) = (fig.cfs.sysbench_tx_per_s, fig.ule.sysbench_tx_per_s);
+    if !(u > 1.3 * c) {
+        bad.push(format!("sysbench tx/s: ULE {u:.0} not >> CFS {c:.0}"));
+    }
+    // (4) Latency is much lower on ULE.
+    if !(fig.ule.sysbench_avg_latency_ms < 0.7 * fig.cfs.sysbench_avg_latency_ms) {
+        bad.push(format!(
+            "latency: ULE {:.0}ms not << CFS {:.0}ms",
+            fig.ule.sysbench_avg_latency_ms, fig.cfs.sysbench_avg_latency_ms
+        ));
+    }
+    bad
+}

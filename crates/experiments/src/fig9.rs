@@ -1,0 +1,181 @@
+//! Figure 9: multi-application workloads on the 32-core machine (§6.4).
+//!
+//! Four pairs: c-ray + EP (batch + batch), fibo + sysbench and
+//! blackscholes + ferret (batch + interactive), apache + sysbench
+//! (interactive + interactive). Each application's performance is reported
+//! relative to running **alone on CFS**.
+
+use simcore::{Dur, Time};
+use topology::Topology;
+use workloads::{suite, Entry, Metric, P};
+
+use crate::{make_kernel, pct_diff, perf_of, RunCfg, Sched};
+
+/// The four workload pairs, with the paper's category labels.
+pub const PAIRS: [(&str, &str, &str); 4] = [
+    ("C-Ray", "EP", "batch + batch"),
+    ("fibo", "Sysbench", "batch + interactive"),
+    ("blackscholes", "ferret", "batch + interactive"),
+    ("Apache", "Sysbench", "interactive + interactive"),
+];
+
+/// Performance of one app in one configuration, relative to alone-on-CFS.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig9Cell {
+    /// Application name.
+    pub name: String,
+    /// Workload-pair category.
+    pub category: &'static str,
+    /// % change co-scheduled on CFS vs alone on CFS.
+    pub cfs_multi_pct: f64,
+    /// % change alone on ULE vs alone on CFS.
+    pub ule_single_pct: f64,
+    /// % change co-scheduled on ULE vs alone on CFS.
+    pub ule_multi_pct: f64,
+}
+
+/// The full figure.
+#[derive(Debug, serde::Serialize)]
+pub struct Fig9 {
+    /// Two cells per pair (one per application).
+    pub cells: Vec<Fig9Cell>,
+}
+
+fn find_entry(name: &str) -> Entry {
+    if name == "fibo" {
+        return Entry {
+            name: "fibo",
+            metric: Metric::InvTime,
+            build: workloads::synthetic::fibo_suite,
+        };
+    }
+    suite()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("no suite entry named {name}"))
+}
+
+/// Run one (pair, scheduler) configuration; returns perf of (a, b).
+fn run_pair(a: &Entry, b: &Entry, sched: Sched, topo: &Topology, cfg: &RunCfg) -> (f64, f64) {
+    let mut k = make_kernel(topo, sched, cfg.seed);
+    let p = P::scaled(topo.nr_cpus(), cfg.scale);
+    let sa = (a.build)(&mut k, &p);
+    let ia = k.queue_app(Time::ZERO, sa);
+    let sb = (b.build)(&mut k, &p);
+    let ib = k.queue_app(Time::ZERO, sb);
+    let limit = Time::ZERO + Dur::secs_f64(900.0 * cfg.scale.max(0.05) + 120.0);
+    let done = k.run_until_apps_done(limit);
+    (perf_of(a, &k, ia, done).perf, perf_of(b, &k, ib, done).perf)
+}
+
+fn run_alone(e: &Entry, sched: Sched, topo: &Topology, cfg: &RunCfg) -> f64 {
+    crate::run_entry(e, sched, topo, cfg, false).perf
+}
+
+/// Run the whole figure.
+pub fn run(cfg: &RunCfg) -> Fig9 {
+    let topo = Topology::opteron_6172();
+    let mut cells = Vec::new();
+    for (an, bn, category) in PAIRS {
+        let a = find_entry(an);
+        let b = find_entry(bn);
+        let a_cfs_alone = run_alone(&a, Sched::Cfs, &topo, cfg);
+        let b_cfs_alone = run_alone(&b, Sched::Cfs, &topo, cfg);
+        let a_ule_alone = run_alone(&a, Sched::Ule, &topo, cfg);
+        let b_ule_alone = run_alone(&b, Sched::Ule, &topo, cfg);
+        let (a_cfs_multi, b_cfs_multi) = run_pair(&a, &b, Sched::Cfs, &topo, cfg);
+        let (a_ule_multi, b_ule_multi) = run_pair(&a, &b, Sched::Ule, &topo, cfg);
+        cells.push(Fig9Cell {
+            name: an.to_string(),
+            category,
+            cfs_multi_pct: pct_diff(a_cfs_multi, a_cfs_alone),
+            ule_single_pct: pct_diff(a_ule_alone, a_cfs_alone),
+            ule_multi_pct: pct_diff(a_ule_multi, a_cfs_alone),
+        });
+        cells.push(Fig9Cell {
+            name: bn.to_string(),
+            category,
+            cfs_multi_pct: pct_diff(b_cfs_multi, b_cfs_alone),
+            ule_single_pct: pct_diff(b_ule_alone, b_cfs_alone),
+            ule_multi_pct: pct_diff(b_ule_multi, b_cfs_alone),
+        });
+    }
+    Fig9 { cells }
+}
+
+/// Render as a table (the paper plots grouped bars).
+pub fn report(fig: &Fig9) -> String {
+    let mut t = metrics::Table::new(&[
+        "app",
+        "category",
+        "CFS multiapp",
+        "ULE singleapp",
+        "ULE multiapp",
+    ]);
+    for c in &fig.cells {
+        t.push(&[
+            c.name.clone(),
+            c.category.to_string(),
+            format!("{:+.1}%", c.cfs_multi_pct),
+            format!("{:+.1}%", c.ule_single_pct),
+            format!("{:+.1}%", c.ule_multi_pct),
+        ]);
+    }
+    let mut s = String::from("Figure 9 — multi-application workloads (relative to alone-on-CFS)\n");
+    s.push_str(&t.render());
+    s.push_str(
+        "(paper: ferret protected by ULE, blackscholes ~−80% on ULE; sysbench+fibo worse on ULE)\n",
+    );
+    s
+}
+
+/// Qualitative checks from §6.4 — the subset of the paper's observations
+/// that the simulation reproduces (see EXPERIMENTS.md for the documented
+/// divergence on ferret's degree of protection).
+pub fn validate(fig: &Fig9) -> Vec<String> {
+    let mut bad = Vec::new();
+    let cell = |name: &str| fig.cells.iter().find(|c| c.name == name);
+    // Interactive + interactive (apache + sysbench): "CFS and ULE also
+    // perform similarly" — neither app is badly hurt on either scheduler.
+    for name in ["Apache"] {
+        if let Some(c) = cell(name) {
+            if c.cfs_multi_pct < -20.0 || c.ule_multi_pct < -20.0 {
+                bad.push(format!(
+                    "{name} (interactive+interactive) should be barely impacted: CFS {:+.1}%, ULE {:+.1}%",
+                    c.cfs_multi_pct, c.ule_multi_pct
+                ));
+            }
+        }
+    }
+    // fibo + sysbench on 32 cores: "fibo does not starve" (MySQL's lock
+    // sleeps leave CPU for it) — unlike the single-core §5.1 result.
+    if let Some(f) = fig.cells.iter().find(|c| c.name == "fibo") {
+        if f.ule_multi_pct < -20.0 {
+            bad.push(format!(
+                "fibo must not starve on the multicore run: {:+.1}%",
+                f.ule_multi_pct
+            ));
+        }
+    }
+    // The batch + interactive pair interferes on both schedulers; the
+    // *degree* to which ULE shields ferret depends on wake-density
+    // dynamics the simulation only partially captures (see EXPERIMENTS.md),
+    // so only gross inversions are flagged.
+    if let (Some(ferret), Some(bs)) = (cell("ferret"), cell("blackscholes")) {
+        if bs.ule_multi_pct > 5.0 && ferret.ule_multi_pct > 5.0 {
+            bad.push(
+                "co-scheduling blackscholes+ferret should cost at least one of them".to_string(),
+            );
+        }
+    }
+    // Batch + batch (c-ray + EP): "CFS and ULE perform similarly".
+    if let Some(ep) = cell("EP") {
+        if (ep.ule_multi_pct - ep.cfs_multi_pct).abs() > 25.0 {
+            bad.push(format!(
+                "EP should be co-scheduled similarly: CFS {:+.1}% vs ULE {:+.1}%",
+                ep.cfs_multi_pct, ep.ule_multi_pct
+            ));
+        }
+    }
+    bad
+}

@@ -1,0 +1,221 @@
+//! Experiment drivers: one module per table/figure of the paper.
+//!
+//! | Module     | Reproduces |
+//! |------------|------------|
+//! | [`table1`] | Table 1 — the scheduling-class API mapping |
+//! | [`fig1`]   | Figure 1 — fibo + sysbench cumulative runtime, CFS vs ULE |
+//! | [`fig2`]   | Figure 2 — interactivity penalties over time |
+//! | [`table2`] | Table 2 — fibo runtime, sysbench tx/s and latency |
+//! | [`fig34`]  | Figures 3 & 4 — single-app starvation inside sysbench |
+//! | [`fig5`]   | Figure 5 — 37-application suite on a single core |
+//! | [`fig6`]   | Figure 6 — rebalancing 512 unpinned spinners |
+//! | [`fig7`]   | Figure 7 — c-ray thread placement and wakeup cascade |
+//! | [`fig8`]   | Figure 8 — the suite on the 32-core machine |
+//! | [`fig9`]   | Figure 9 — multi-application workloads |
+//! | [`ablations`] | design-choice ablations (cgroups, balancer bug, NUMA tolerance, wakeup preemption) |
+//!
+//! All drivers are deterministic given a seed and accept a `scale`
+//! parameter that shrinks work volumes (tests and benches use small
+//! scales; the `battle` CLI defaults to the paper-sized runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// `!(x > y)` in shape checks is deliberate: it reads as "the claim failed"
+// and handles NaN conservatively (a NaN measurement must flag the check).
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Param structs are built by tweaking a Default; that is their API.
+#![allow(clippy::field_reassign_with_default)]
+
+pub mod ablations;
+pub mod desktop;
+pub mod fig1;
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use cfs::Cfs;
+use kernel::{AppId, AppSpec, Kernel, SimConfig};
+use simcore::{Dur, Time};
+use topology::Topology;
+use ule::Ule;
+use workloads::{Entry, Metric, P};
+
+/// Which scheduler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Sched {
+    /// Linux CFS.
+    Cfs,
+    /// FreeBSD ULE (the paper's Linux port).
+    Ule,
+}
+
+impl Sched {
+    /// Both schedulers, CFS first.
+    pub const BOTH: [Sched; 2] = [Sched::Cfs, Sched::Ule];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sched::Cfs => "CFS",
+            Sched::Ule => "ULE",
+        }
+    }
+}
+
+/// Common run configuration.
+#[derive(Debug, Clone)]
+pub struct RunCfg {
+    /// Work-volume scale (1.0 = paper-sized).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunCfg {
+    fn default() -> Self {
+        RunCfg {
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RunCfg {
+    /// Config with the default seed at the given scale.
+    pub fn at_scale(scale: f64) -> RunCfg {
+        RunCfg {
+            scale,
+            ..Default::default()
+        }
+    }
+}
+
+/// Build a kernel for `topo` driven by `sched`.
+pub fn make_kernel(topo: &Topology, sched: Sched, seed: u64) -> Kernel {
+    let cfg = SimConfig::with_seed(seed);
+    let class: Box<dyn sched_api::Scheduler> = match sched {
+        Sched::Cfs => Box::new(Cfs::new(topo)),
+        Sched::Ule => Box::new(Ule::with_params(
+            topo,
+            ule::params::UleParams::default(),
+            seed,
+        )),
+    };
+    Kernel::new(topo.clone(), cfg, class)
+}
+
+/// Result of running one suite entry under one scheduler.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PerfResult {
+    /// Application name.
+    pub name: String,
+    /// Scheduler used.
+    pub sched: Sched,
+    /// Wall-clock completion time (seconds); `None` if the limit was hit.
+    pub elapsed_s: Option<f64>,
+    /// Operations completed.
+    pub ops: u64,
+    /// The §5.3 performance number: ops/s for database & NAS workloads,
+    /// 1/time for everything else.
+    pub perf: f64,
+}
+
+/// Run one suite entry to completion under `sched` and measure it.
+///
+/// `with_noise` adds the per-core kernel-noise daemon (used by the
+/// multicore experiments; see `workloads::noise`).
+pub fn run_entry(
+    entry: &Entry,
+    sched: Sched,
+    topo: &Topology,
+    cfg: &RunCfg,
+    with_noise: bool,
+) -> PerfResult {
+    let mut k = make_kernel(topo, sched, cfg.seed);
+    let p = P::scaled(topo.nr_cpus(), cfg.scale);
+    let mut start = Time::ZERO;
+    if with_noise {
+        let noise = workloads::noise::kernel_noise(&mut k, &p);
+        k.queue_app(Time::ZERO, noise);
+        // Let the background kthreads run before the workload starts, as
+        // on a live machine: their load residue is what perturbs CFS's
+        // placement (§6.3).
+        start = Time::ZERO + Dur::secs(1);
+    }
+    let spec = (entry.build)(&mut k, &p);
+    let app = k.queue_app(start, spec);
+    // A generous limit: suite apps are sized for tens of simulated seconds
+    // at scale 1.
+    let limit = Time::ZERO + Dur::secs_f64(600.0 * cfg.scale.max(0.05) + 120.0);
+    let done = k.run_until_apps_done(limit);
+    perf_of(entry, &k, app, done)
+}
+
+/// Compute the §5.3 performance number for a finished (or timed-out) app.
+pub fn perf_of(entry: &Entry, k: &Kernel, app: AppId, done: bool) -> PerfResult {
+    let a = k.app(app);
+    let elapsed = a.elapsed().map(|d| d.as_secs_f64());
+    let perf = match entry.metric {
+        Metric::Ops => a.ops_per_sec(k.now()),
+        Metric::InvTime => match elapsed {
+            Some(e) if e > 0.0 => 1.0 / e,
+            _ => 0.0,
+        },
+    };
+    PerfResult {
+        name: entry.name.to_string(),
+        sched: k_sched(k),
+        elapsed_s: if done { elapsed } else { None },
+        ops: a.ops,
+        perf,
+    }
+}
+
+fn k_sched(k: &Kernel) -> Sched {
+    match k.sched_name() {
+        "cfs" => Sched::Cfs,
+        "ule" => Sched::Ule,
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// Percentage difference of ULE relative to CFS, the y-axis of Figures 5
+/// and 8: "> 0 means the application runs faster with ULE than CFS".
+pub fn pct_diff(ule: f64, cfs: f64) -> f64 {
+    if cfs == 0.0 {
+        0.0
+    } else {
+        (ule - cfs) / cfs * 100.0
+    }
+}
+
+/// Helper: queue an [`AppSpec`] built by a closure needing the kernel.
+pub fn queue_built(k: &mut Kernel, at: Time, build: impl FnOnce(&mut Kernel) -> AppSpec) -> AppId {
+    let spec = build(k);
+    k.queue_app(at, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_diff_signs() {
+        assert!((pct_diff(2.0, 1.0) - 100.0).abs() < 1e-12);
+        assert!((pct_diff(0.5, 1.0) + 50.0).abs() < 1e-12);
+        assert_eq!(pct_diff(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn make_kernel_both_scheds() {
+        let topo = Topology::single_core();
+        assert_eq!(make_kernel(&topo, Sched::Cfs, 1).sched_name(), "cfs");
+        assert_eq!(make_kernel(&topo, Sched::Ule, 1).sched_name(), "ule");
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation configuration.
+
+use simcore::Dur;
+
+/// Tunable costs and knobs of the simulated machine/kernel.
+///
+/// Defaults are chosen to be in the right order of magnitude for the paper's
+/// 2.1 GHz Opteron; the *relative* effects the paper reports (preemption
+/// frequency, placement-scan overhead, migration cache penalties) are what
+/// matters, not the absolute values.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; a given seed reproduces a bit-identical run.
+    pub seed: u64,
+    /// Scheduler tick period (Linux HZ=1000 → 1 ms).
+    pub tick: Dur,
+    /// Direct cost of a context switch, charged to the incoming task's CPU.
+    pub ctx_switch_cost: Dur,
+    /// Cache-refill penalty charged when a task runs on a different CPU than
+    /// last time, per unit of topology distance (1 = same LLC, 3 = other
+    /// NUMA node).
+    pub migration_cost_per_distance: Dur,
+    /// Placement-scan cost charged to the waking CPU per CPU examined by
+    /// `select_task_rq` (reproduces ULE's 13 % sysbench overhead, §6.3).
+    pub select_scan_cost_per_cpu: Dur,
+    /// Cache-refill work added to a thread's current run segment when it is
+    /// involuntarily preempted (its working set is partially evicted while
+    /// off-CPU). This is the cost that makes CFS's aggressive wakeup
+    /// preemption visible in the apache/ab workload (§5.3).
+    pub preempt_penalty: Dur,
+    /// Capacity of the flight-recorder trace buffer (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Safety valve: maximum zero-time actions a behavior may emit in a row.
+    pub max_instant_actions: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 42,
+            tick: Dur::millis(1),
+            ctx_switch_cost: Dur::micros(2),
+            migration_cost_per_distance: Dur::micros(30),
+            select_scan_cost_per_cpu: Dur::nanos(400),
+            preempt_penalty: Dur::micros(40),
+            trace_capacity: 0,
+            max_instant_actions: 1_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a specific seed, other knobs default.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A frictionless machine: zero context-switch, migration and scan
+    /// costs. Useful in unit tests that check pure scheduling logic.
+    pub fn frictionless(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ctx_switch_cost: Dur::ZERO,
+            migration_cost_per_distance: Dur::ZERO,
+            select_scan_cost_per_cpu: Dur::ZERO,
+            preempt_penalty: Dur::ZERO,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.tick, Dur::millis(1));
+        assert!(c.ctx_switch_cost < c.tick);
+    }
+
+    #[test]
+    fn frictionless_zeroes_costs() {
+        let c = SimConfig::frictionless(7);
+        assert_eq!(c.seed, 7);
+        assert!(c.ctx_switch_cost.is_zero());
+        assert!(c.migration_cost_per_distance.is_zero());
+        assert!(c.select_scan_cost_per_cpu.is_zero());
+    }
+}

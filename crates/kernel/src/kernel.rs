@@ -1,0 +1,1138 @@
+//! The simulated kernel: event loop, dispatching, ticks, wakeups, blocking,
+//! spawning, and overhead charging.
+//!
+//! The kernel plays the role Linux's core scheduler (`kernel/sched/core.c`)
+//! plays in the paper's methodology: it is *identical* for both schedulers —
+//! only the scheduling class behind the [`Scheduler`] trait changes — so any
+//! performance difference between two runs is attributable to the scheduler,
+//! which is exactly the isolation the paper's ULE port achieves.
+//!
+//! # Execution model
+//!
+//! Each simulated CPU executes its current task's behaviour. Zero-time
+//! actions (locking a free mutex, spawning, counting ops) are interpreted
+//! inline; [`Action::Run`] segments are lazily completed by a `RunDone`
+//! event; blocking actions put the task to voluntary sleep and trigger a
+//! reschedule. A 1 ms tick per CPU drives `task_tick` (timeslice and
+//! fairness checks) and `balance_tick` (periodic load balancing).
+//!
+//! # Overhead charging
+//!
+//! Context-switch costs, cache-cold migration penalties and placement-scan
+//! costs occupy CPU time without making application progress: the kernel
+//! adds them to the running segment's `overhead`, postponing its completion
+//! event. This is how ULE's expensive `sched_pickcpu` scans become visible
+//! as lost application throughput (§6.3 of the paper).
+
+use sched_api::{
+    DequeueKind, EnqueueKind, GroupId, Preempt, Scheduler, SelectStats, Task, TaskSnapshot,
+    TaskState, TaskTable, Tid, WakeKind,
+};
+use simcore::{Dur, EventId, EventQueue, SimRng, Time};
+use topology::{CpuId, Topology};
+
+use crate::behavior::{
+    Action, BarrierId, Behavior, Ctx, MutexId, PoolId, QueueId, SemId, ThreadSpec,
+};
+use crate::config::SimConfig;
+use crate::stats::{AppStats, Counters, CpuStats, DecisionHash};
+use crate::sync::{OpOutcome, SyncTable};
+use crate::trace::TraceEvent;
+
+/// Identifier of an application (a spawned [`AppSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+/// An application: a named group of initial threads. Threads spawned at
+/// runtime (via [`Action::Spawn`]) join their spawner's application.
+pub struct AppSpec {
+    /// Name used in reports.
+    pub name: String,
+    /// Threads enqueued when the application starts.
+    pub threads: Vec<ThreadSpec>,
+    /// Daemon apps (background noise, servers) never "finish": they are
+    /// excluded from [`Kernel::all_apps_done`].
+    pub daemon: bool,
+}
+
+impl AppSpec {
+    /// An application with the given initial threads.
+    pub fn new(name: impl Into<String>, threads: Vec<ThreadSpec>) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            threads,
+            daemon: false,
+        }
+    }
+
+    /// Mark as a daemon (excluded from completion tracking).
+    pub fn daemon(mut self) -> AppSpec {
+        self.daemon = true;
+        self
+    }
+}
+
+/// Deferred control operations, scheduled at absolute times.
+enum ControlOp {
+    StartApp(AppId, Vec<ThreadSpec>),
+    /// Clear the affinity mask of every task of an app (the `taskset`
+    /// command in the Figure 6 experiment).
+    UnpinApp(AppId),
+}
+
+enum Event {
+    /// Per-CPU scheduler tick.
+    Tick(CpuId),
+    /// The current run segment of `cpu` completed (if `gen` is current).
+    RunDone { cpu: CpuId, gen: u64 },
+    /// Timer expiry for a timed sleep.
+    TimerWake { tid: Tid },
+    /// A spin-barrier arrival exceeded its spin budget.
+    SpinTimeout {
+        tid: Tid,
+        barrier: BarrierId,
+        generation: u64,
+    },
+    /// Re-run the scheduling decision on a CPU.
+    Resched(CpuId),
+    /// A released spinner should continue executing its behaviour.
+    Continue(Tid),
+    /// Deferred control operation.
+    Control(ControlOp),
+}
+
+/// Where a task stands in its behaviour program.
+enum Cont {
+    /// Ask the behaviour for the next action.
+    NeedAction,
+    /// Partially executed run segment.
+    Run { left: Dur },
+    /// Spinning at a barrier until released or until the timeout event.
+    Spin { barrier: BarrierId, generation: u64 },
+    /// Blocked on a synchronisation object or timer.
+    Blocked,
+    /// Exited.
+    Done,
+}
+
+/// Per-task kernel-side runtime state (behaviour + continuation).
+struct TaskRt {
+    behavior: Option<Box<dyn Behavior>>,
+    cont: Cont,
+    rng: SimRng,
+    /// Value delivered by the last queue get.
+    pending_value: Option<u64>,
+    /// Application this task belongs to.
+    app: AppId,
+    /// Detached threads don't count toward app completion.
+    detached: bool,
+}
+
+/// Per-CPU execution state.
+struct Cpu {
+    current: Option<Tid>,
+    /// Task that ran most recently (to skip context-switch cost when a task
+    /// is re-picked immediately).
+    last_tid: Option<Tid>,
+    /// Current segment: when it started, overhead absorbed, work accounted.
+    seg_start: Time,
+    seg_overhead: Dur,
+    seg_accounted: Dur,
+    /// Remaining work of the current Run segment when it started.
+    seg_run_left: Dur,
+    /// Pending overhead to fold into the next segment (context switch cost
+    /// charged before the task reaches its next Run).
+    pending_overhead: Dur,
+    run_event: Option<EventId>,
+    run_gen: u64,
+    /// Whether the segment fields describe the *current* task's active
+    /// run/spin segment (false while a task is between actions, so stale
+    /// fields are never accounted to the wrong task).
+    seg_active: bool,
+    resched_pending: bool,
+    stats: CpuStats,
+}
+
+impl Cpu {
+    fn new() -> Cpu {
+        Cpu {
+            current: None,
+            last_tid: None,
+            seg_start: Time::ZERO,
+            seg_overhead: Dur::ZERO,
+            seg_accounted: Dur::ZERO,
+            seg_run_left: Dur::ZERO,
+            pending_overhead: Dur::ZERO,
+            run_event: None,
+            run_gen: 0,
+            seg_active: false,
+            resched_pending: false,
+            stats: CpuStats::default(),
+        }
+    }
+}
+
+/// Outcome of interpreting behaviour actions on a CPU.
+enum InterpretEnd {
+    /// A run/spin segment was installed; the CPU keeps executing.
+    Running,
+    /// The current task blocked, yielded or exited; the CPU needs a pick.
+    NeedsPick,
+}
+
+/// The simulated kernel. See the module docs for the execution model.
+pub struct Kernel {
+    topo: Topology,
+    cfg: SimConfig,
+    now: Time,
+    events: EventQueue<Event>,
+    sched: Box<dyn Scheduler>,
+    tasks: TaskTable,
+    trt: Vec<Option<TaskRt>>,
+    cpus: Vec<Cpu>,
+    sync: SyncTable,
+    apps: Vec<AppStats>,
+    live_apps: usize,
+    counters: Counters,
+    hash: DecisionHash,
+    trace: simcore::TraceBuffer<TraceEvent>,
+    rng: SimRng,
+    ticking: bool,
+}
+
+impl Kernel {
+    /// Build a kernel for `topo`, driven by `sched`.
+    pub fn new(topo: Topology, cfg: SimConfig, sched: Box<dyn Scheduler>) -> Kernel {
+        let ncpu = topo.nr_cpus();
+        let rng = SimRng::new(cfg.seed);
+        let trace = simcore::TraceBuffer::with_capacity(cfg.trace_capacity);
+        Kernel {
+            topo,
+            cfg,
+            now: Time::ZERO,
+            events: EventQueue::new(),
+            sched,
+            tasks: TaskTable::new(),
+            trt: Vec::new(),
+            cpus: (0..ncpu).map(|_| Cpu::new()).collect(),
+            sync: SyncTable::new(),
+            apps: Vec::new(),
+            live_apps: 0,
+            counters: Counters::default(),
+            hash: DecisionHash::default(),
+            trace,
+            rng,
+            ticking: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public setup & introspection API
+    // ------------------------------------------------------------------
+
+    /// Schedule an application to start at `at`. Returns its id.
+    pub fn queue_app(&mut self, at: Time, spec: AppSpec) -> AppId {
+        let app = AppId(self.apps.len() as u32);
+        let group = GroupId(self.apps.len() as u32 + 1); // 0 is the root
+        let mut stats = AppStats::new(spec.name, group);
+        stats.daemon = spec.daemon;
+        self.apps.push(stats);
+        if !spec.daemon {
+            self.live_apps += 1;
+        }
+        self.events
+            .push(at, Event::Control(ControlOp::StartApp(app, spec.threads)));
+        app
+    }
+
+    /// Schedule the affinity masks of all of `app`'s tasks to be cleared at
+    /// `at` (the `taskset` unpin of the Figure 6 experiment).
+    pub fn queue_unpin(&mut self, at: Time, app: AppId) {
+        self.events
+            .push(at, Event::Control(ControlOp::UnpinApp(app)));
+    }
+
+    /// Create a synchronisation mutex (usable by behaviours).
+    pub fn new_mutex(&mut self) -> MutexId {
+        self.sync.new_mutex()
+    }
+    /// Create a counting semaphore.
+    pub fn new_sem(&mut self, initial: u64) -> SemId {
+        self.sync.new_sem(initial)
+    }
+    /// Create a cyclic barrier.
+    pub fn new_barrier(&mut self, parties: usize) -> BarrierId {
+        self.sync.new_barrier(parties)
+    }
+    /// Create a bounded queue.
+    pub fn new_queue(&mut self, capacity: usize) -> QueueId {
+        self.sync.new_queue(capacity)
+    }
+    /// Create a shared work pool.
+    pub fn new_pool(&mut self, items: u64) -> PoolId {
+        self.sync.new_pool(items)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The scheduler's name ("cfs", "ule", ...).
+    pub fn sched_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Global activity counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Per-CPU work/overhead accounting.
+    pub fn cpu_stats(&self, cpu: CpuId) -> &CpuStats {
+        &self.cpus[cpu.index()].stats
+    }
+
+    /// Statistics of an application.
+    pub fn app(&self, app: AppId) -> &AppStats {
+        &self.apps[app.0 as usize]
+    }
+
+    /// Number of applications registered.
+    pub fn nr_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// `true` once every registered application has finished.
+    pub fn all_apps_done(&self) -> bool {
+        self.live_apps == 0
+    }
+
+    /// Tids of all tasks (live or dead) belonging to `app`, in spawn order.
+    pub fn app_tasks(&self, app: AppId) -> Vec<Tid> {
+        (0..self.trt.len() as u32)
+            .map(Tid)
+            .filter(|t| {
+                self.trt[t.index()]
+                    .as_ref()
+                    .map(|rt| rt.app == app)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Read access to a task.
+    pub fn task(&self, tid: Tid) -> &Task {
+        self.tasks.get(tid)
+    }
+
+    /// Total CPU work performed by a task so far.
+    pub fn task_runtime(&self, tid: Tid) -> Dur {
+        self.tasks.get(tid).sum_exec
+    }
+
+    /// Scheduler-internal per-task state (vruntime / penalty / ...).
+    pub fn snapshot(&self, tid: Tid) -> TaskSnapshot {
+        self.sched.snapshot(&self.tasks, tid)
+    }
+
+    /// Number of tasks on `cpu`'s runqueue, including the running one.
+    pub fn nr_queued(&self, cpu: CpuId) -> usize {
+        self.sched.nr_queued(cpu)
+    }
+
+    /// The task currently running on `cpu`, if any.
+    pub fn current(&self, cpu: CpuId) -> Option<Tid> {
+        self.cpus[cpu.index()].current
+    }
+
+    /// The determinism digest over all scheduling decisions so far.
+    pub fn decision_digest(&self) -> u64 {
+        self.hash.digest()
+    }
+
+    /// The flight-recorder trace (empty unless
+    /// [`SimConfig::trace_capacity`] is set).
+    pub fn trace(&self) -> &simcore::TraceBuffer<TraceEvent> {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation driving
+    // ------------------------------------------------------------------
+
+    /// Run the simulation up to and including events at `until`.
+    pub fn run_until(&mut self, until: Time) {
+        self.ensure_ticking();
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            debug_assert!(at >= self.now);
+            self.now = at;
+            self.handle(ev);
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Run until every registered app finished, or until `limit`.
+    /// Returns `true` if all apps completed.
+    pub fn run_until_apps_done(&mut self, limit: Time) -> bool {
+        self.ensure_ticking();
+        while self.live_apps > 0 {
+            let Some(at) = self.events.peek_time() else {
+                break;
+            };
+            if at > limit {
+                self.now = limit;
+                return false;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            self.now = at;
+            self.handle(ev);
+        }
+        self.live_apps == 0
+    }
+
+    fn ensure_ticking(&mut self) {
+        if self.ticking {
+            return;
+        }
+        self.ticking = true;
+        let n = self.cpus.len() as u64;
+        for i in 0..n {
+            // Stagger ticks across CPUs as real machines do, avoiding
+            // artificial lock-step between cores.
+            let offset = Dur(self.cfg.tick.as_nanos() * i / n);
+            self.events.push(
+                self.now + self.cfg.tick + offset,
+                Event::Tick(CpuId(i as u32)),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Tick(cpu) => self.on_tick(cpu),
+            Event::RunDone { cpu, gen } => self.on_run_done(cpu, gen),
+            Event::TimerWake { tid } => self.on_timer_wake(tid),
+            Event::SpinTimeout {
+                tid,
+                barrier,
+                generation,
+            } => self.on_spin_timeout(tid, barrier, generation),
+            Event::Resched(cpu) => self.on_resched(cpu),
+            Event::Continue(tid) => self.on_continue(tid),
+            Event::Control(op) => self.on_control(op),
+        }
+    }
+
+    fn on_tick(&mut self, cpu: CpuId) {
+        self.account_segment(cpu);
+        if let Some(curr) = self.cpus[cpu.index()].current {
+            if let Preempt::Yes = self.sched.task_tick(&mut self.tasks, cpu, curr, self.now) {
+                self.request_resched(cpu);
+            }
+        }
+        let targets = self.sched.balance_tick(&mut self.tasks, cpu, self.now);
+        self.counters.migrations += targets.len() as u64;
+        for t in targets {
+            self.events.push(self.now, Event::Resched(t));
+        }
+        let next = self.now + self.cfg.tick;
+        self.events.push(next, Event::Tick(cpu));
+    }
+
+    fn on_run_done(&mut self, cpu: CpuId, gen: u64) {
+        let c = &mut self.cpus[cpu.index()];
+        if c.run_gen != gen {
+            return; // stale completion
+        }
+        c.run_event = None;
+        let Some(tid) = c.current else { return };
+        self.account_segment(cpu);
+        self.trt[tid.index()].as_mut().expect("live task").cont = Cont::NeedAction;
+        if let InterpretEnd::NeedsPick = self.interpret(cpu) {
+            self.pick_and_run(cpu);
+        }
+    }
+
+    fn on_timer_wake(&mut self, tid: Tid) {
+        if !self.tasks.contains(tid) || self.tasks.get(tid).state != TaskState::Sleeping {
+            return;
+        }
+        self.trt[tid.index()].as_mut().expect("live").cont = Cont::NeedAction;
+        self.wake_task(tid, None);
+    }
+
+    fn on_spin_timeout(&mut self, tid: Tid, barrier: BarrierId, generation: u64) {
+        // Validate the task is still spinning on this barrier generation.
+        let still_spinning = matches!(
+            self.trt[tid.index()].as_ref().map(|rt| &rt.cont),
+            Some(Cont::Spin { barrier: b, generation: g }) if *b == barrier && *g == generation
+        );
+        if !still_spinning {
+            return;
+        }
+        if !self.sync.barrier_spin_timeout(barrier, tid, generation) {
+            return;
+        }
+        // The spinner becomes a blocked waiter (it goes to sleep).
+        self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+        let cpu = self.tasks.get(tid).cpu;
+        let is_current = self.cpus[cpu.index()].current == Some(tid);
+        if is_current {
+            self.account_segment(cpu);
+            self.block_current(cpu, tid);
+            self.pick_and_run(cpu);
+        } else {
+            // Preempted mid-spin: remove from the runqueue and sleep.
+            self.sched
+                .dequeue_task(&mut self.tasks, cpu, tid, DequeueKind::Sleep, self.now);
+            let t = self.tasks.get_mut(tid);
+            t.state = TaskState::Sleeping;
+            t.sleep_start = self.now;
+            t.on_rq = false;
+        }
+    }
+
+    fn on_resched(&mut self, cpu: CpuId) {
+        let c = &self.cpus[cpu.index()];
+        if c.current.is_none() {
+            self.pick_and_run(cpu);
+            return;
+        }
+        if !c.resched_pending {
+            return;
+        }
+        self.cpus[cpu.index()].resched_pending = false;
+        self.preempt_current(cpu);
+        self.pick_and_run(cpu);
+    }
+
+    fn on_continue(&mut self, tid: Tid) {
+        // A spinner released by a barrier while it was running.
+        if !self.tasks.contains(tid) {
+            return;
+        }
+        let cpu = self.tasks.get(tid).cpu;
+        if self.cpus[cpu.index()].current != Some(tid) {
+            return; // it was preempted meanwhile; dispatch will continue it
+        }
+        if !matches!(
+            self.trt[tid.index()].as_ref().map(|rt| &rt.cont),
+            Some(Cont::NeedAction)
+        ) {
+            return;
+        }
+        self.account_segment(cpu);
+        if let InterpretEnd::NeedsPick = self.interpret(cpu) {
+            self.pick_and_run(cpu);
+        }
+    }
+
+    fn on_control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::StartApp(app, threads) => {
+                self.apps[app.0 as usize].started = Some(self.now);
+                for spec in threads {
+                    self.spawn_thread(app, spec, None);
+                }
+            }
+            ControlOp::UnpinApp(app) => {
+                let tids = self.app_tasks(app);
+                for tid in tids {
+                    if self.tasks.contains(tid) {
+                        self.tasks.get_mut(tid).affinity = None;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    fn spawn_thread(&mut self, app: AppId, spec: ThreadSpec, parent: Option<Tid>) -> Tid {
+        let group = self.apps[app.0 as usize].group;
+        let ThreadSpec {
+            name,
+            nice,
+            affinity,
+            kernel_thread,
+            inherit_history,
+            detached,
+            behavior,
+        } = spec;
+        let now = self.now;
+        let tid = self.tasks.insert_with(|tid| {
+            let mut t = Task::new(tid, name, group);
+            t.nice = nice;
+            t.affinity = affinity;
+            t.kernel_thread = kernel_thread;
+            t.inherit_history = inherit_history;
+            t.parent = parent;
+            t.last_ran = now;
+            t.last_wakeup = now;
+            t
+        });
+        if tid.index() >= self.trt.len() {
+            self.trt.resize_with(tid.index() + 1, || None);
+        }
+        let rng = self.rng.fork(tid.0 as u64);
+        self.trt[tid.index()] = Some(TaskRt {
+            behavior: Some(behavior),
+            cont: Cont::NeedAction,
+            rng,
+            pending_value: None,
+            app,
+            detached,
+        });
+        let a = &mut self.apps[app.0 as usize];
+        if !detached {
+            a.live += 1;
+        }
+        a.spawned += 1;
+        self.counters.spawns += 1;
+
+        self.sched.task_fork(&self.tasks, tid, parent, self.now);
+        self.place_and_enqueue(tid, parent, true);
+        tid
+    }
+
+    /// Place a task (new or waking) and enqueue it, charging placement-scan
+    /// cost to the CPU doing the wakeup.
+    fn place_and_enqueue(&mut self, tid: Tid, waker: Option<Tid>, is_new: bool) {
+        let waking_cpu = match waker {
+            Some(w) if self.tasks.contains(w) => self.tasks.get(w).cpu,
+            _ => self.tasks.get(tid).last_cpu,
+        };
+        let kind = if is_new {
+            WakeKind::New
+        } else {
+            WakeKind::Wakeup { waker }
+        };
+        let mut stats = SelectStats::default();
+        let target =
+            self.sched
+                .select_task_rq(&self.tasks, tid, kind, waking_cpu, self.now, &mut stats);
+        debug_assert!(
+            self.tasks.get(tid).allowed_on(target),
+            "scheduler violated affinity of {tid}"
+        );
+        self.counters.placement_scans += stats.cpus_scanned as u64;
+        let scan_cost = self
+            .cfg
+            .select_scan_cost_per_cpu
+            .saturating_mul(stats.cpus_scanned as u64);
+        self.charge_overhead(waking_cpu, scan_cost);
+
+        let t = self.tasks.get_mut(tid);
+        t.cpu = target;
+        t.state = TaskState::Runnable;
+        t.on_rq = true;
+        t.last_wakeup = self.now;
+        let ekind = if is_new {
+            EnqueueKind::New
+        } else {
+            EnqueueKind::Wakeup
+        };
+        let preempt = self
+            .sched
+            .enqueue_task(&mut self.tasks, target, tid, ekind, self.now);
+        self.hash.record(1, self.now, tid.0, target.0);
+        if !is_new {
+            self.trace.push(TraceEvent::Wakeup {
+                at: self.now,
+                tid,
+                cpu: target,
+                waker,
+            });
+        }
+        let idle = self.cpus[target.index()].current.is_none();
+        match preempt {
+            Preempt::Yes if !idle => {
+                self.cpus[target.index()].resched_pending = true;
+                self.counters.preemptions += 1;
+                self.events.push(self.now, Event::Resched(target));
+            }
+            _ if idle => {
+                self.events.push(self.now, Event::Resched(target));
+            }
+            _ => {}
+        }
+    }
+
+    fn wake_task(&mut self, tid: Tid, waker: Option<Tid>) {
+        debug_assert_eq!(self.tasks.get(tid).state, TaskState::Sleeping);
+        self.counters.wakeups += 1;
+        self.hash.record(2, self.now, tid.0, 0);
+        self.place_and_enqueue(tid, waker, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Segment accounting & overhead
+    // ------------------------------------------------------------------
+
+    /// Bring the current task's `sum_exec` up to date with the work done in
+    /// the active segment.
+    fn account_segment(&mut self, cpu: CpuId) {
+        let c = &mut self.cpus[cpu.index()];
+        if !c.seg_active {
+            return;
+        }
+        let Some(tid) = c.current else { return };
+        let elapsed = self.now.saturating_since(c.seg_start);
+        let total_work = elapsed.saturating_sub(c.seg_overhead);
+        let delta = total_work.saturating_sub(c.seg_accounted);
+        if !delta.is_zero() {
+            c.seg_accounted = total_work;
+            c.stats.work += delta;
+            self.tasks.get_mut(tid).sum_exec += delta;
+        }
+    }
+
+    /// Charge `cost` of kernel-mode time to `cpu`, postponing the running
+    /// segment's completion.
+    fn charge_overhead(&mut self, cpu: CpuId, cost: Dur) {
+        if cost.is_zero() {
+            return;
+        }
+        let c = &mut self.cpus[cpu.index()];
+        c.stats.overhead += cost;
+        if let Some(ev) = c.run_event.take() {
+            // Active run segment: postpone its completion.
+            c.seg_overhead += cost;
+            self.events.cancel(ev);
+            let done_at = c.seg_start + c.seg_run_left + c.seg_overhead;
+            let gen = c.run_gen;
+            c.run_event = Some(self.events.push(done_at, Event::RunDone { cpu, gen }));
+        } else if c.current.is_some() && c.seg_active && c.seg_run_left == Dur::MAX {
+            // Active spin segment: the spin absorbs the cost.
+            c.seg_overhead += cost;
+        } else {
+            // Idle CPU, or a task between actions: fold the cost into the
+            // next segment started on this CPU.
+            c.pending_overhead += cost;
+        }
+    }
+
+    /// Install a run segment of `left` work for the current task on `cpu`.
+    fn start_run_segment(&mut self, cpu: CpuId, left: Dur) {
+        let c = &mut self.cpus[cpu.index()];
+        debug_assert!(c.current.is_some());
+        c.seg_start = self.now;
+        c.seg_overhead = std::mem::take(&mut c.pending_overhead);
+        c.seg_accounted = Dur::ZERO;
+        c.seg_run_left = left;
+        c.seg_active = true;
+        c.run_gen += 1;
+        let gen = c.run_gen;
+        let done_at = c.seg_start + left + c.seg_overhead;
+        if let Some(ev) = c.run_event.take() {
+            self.events.cancel(ev);
+        }
+        c.run_event = Some(self.events.push(done_at, Event::RunDone { cpu, gen }));
+    }
+
+    /// Install an open-ended spin segment (no completion event; ended by
+    /// barrier release or spin timeout).
+    fn start_spin_segment(&mut self, cpu: CpuId) {
+        let c = &mut self.cpus[cpu.index()];
+        debug_assert!(c.current.is_some());
+        c.seg_start = self.now;
+        c.seg_overhead = std::mem::take(&mut c.pending_overhead);
+        c.seg_accounted = Dur::ZERO;
+        c.seg_run_left = Dur::MAX;
+        c.seg_active = true;
+        c.run_gen += 1;
+        if let Some(ev) = c.run_event.take() {
+            self.events.cancel(ev);
+        }
+    }
+
+    /// Cancel any armed completion event for `cpu`'s segment.
+    fn cancel_segment(&mut self, cpu: CpuId) {
+        let c = &mut self.cpus[cpu.index()];
+        c.seg_active = false;
+        c.run_gen += 1;
+        if let Some(ev) = c.run_event.take() {
+            self.events.cancel(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling core
+    // ------------------------------------------------------------------
+
+    fn request_resched(&mut self, cpu: CpuId) {
+        let c = &mut self.cpus[cpu.index()];
+        if c.current.is_some() && !c.resched_pending {
+            c.resched_pending = true;
+            self.counters.preemptions += 1;
+            self.events.push(self.now, Event::Resched(cpu));
+        }
+    }
+
+    /// Take the current task off the CPU, saving its remaining work, and
+    /// put it back in the runqueue (involuntary preemption).
+    fn preempt_current(&mut self, cpu: CpuId) {
+        self.account_segment(cpu);
+        let c = &mut self.cpus[cpu.index()];
+        let Some(tid) = c.current.take() else { return };
+        // Save remaining work for Run segments.
+        let left = c.seg_run_left.saturating_sub(c.seg_accounted);
+        self.cancel_segment(cpu);
+        let rt = self.trt[tid.index()].as_mut().expect("live");
+        match rt.cont {
+            Cont::Run { .. } => {
+                // Involuntary preemption partially evicts the working set;
+                // the refill shows up as extra work when it resumes.
+                rt.cont = Cont::Run {
+                    left: left + self.cfg.preempt_penalty,
+                }
+            }
+            Cont::Spin { .. } => {} // spin deadline is absolute; keep state
+            _ => {}
+        }
+        let t = self.tasks.get_mut(tid);
+        t.state = TaskState::Runnable;
+        t.last_ran = self.now;
+        self.sched
+            .put_prev_task(&mut self.tasks, cpu, tid, self.now);
+    }
+
+    /// The current task on `cpu` blocks (voluntary sleep). The task keeps
+    /// `Cont::Blocked`; callers must have set `sleep` bookkeeping reasons.
+    fn block_current(&mut self, cpu: CpuId, tid: Tid) {
+        debug_assert_eq!(self.cpus[cpu.index()].current, Some(tid));
+        self.account_segment(cpu);
+        self.cancel_segment(cpu);
+        self.cpus[cpu.index()].current = None;
+        self.sched
+            .dequeue_task(&mut self.tasks, cpu, tid, DequeueKind::Sleep, self.now);
+        let t = self.tasks.get_mut(tid);
+        t.state = TaskState::Sleeping;
+        t.sleep_start = self.now;
+        t.last_ran = self.now;
+        t.on_rq = false;
+    }
+
+    /// The current task exits.
+    fn exit_current(&mut self, cpu: CpuId, tid: Tid) {
+        self.account_segment(cpu);
+        self.cancel_segment(cpu);
+        self.cpus[cpu.index()].current = None;
+        self.sched
+            .dequeue_task(&mut self.tasks, cpu, tid, DequeueKind::Dead, self.now);
+        self.sched.task_dead(&self.tasks, tid, self.now);
+        let t = self.tasks.get_mut(tid);
+        t.state = TaskState::Dead;
+        t.on_rq = false;
+        self.trace.push(TraceEvent::Exit { at: self.now, tid });
+        let rt = self.trt[tid.index()].as_mut().expect("live");
+        rt.cont = Cont::Done;
+        rt.behavior = None;
+        let app = rt.app;
+        let detached = rt.detached;
+        if !detached {
+            let a = &mut self.apps[app.0 as usize];
+            a.live -= 1;
+            if a.live == 0 {
+                a.finished = Some(self.now);
+                if !a.daemon {
+                    self.live_apps -= 1;
+                }
+            }
+        }
+    }
+
+    /// Pick tasks until one actually keeps the CPU (installs a run/spin
+    /// segment) or the queue drains (CPU idles).
+    fn pick_and_run(&mut self, cpu: CpuId) {
+        loop {
+            debug_assert!(self.cpus[cpu.index()].current.is_none());
+            let mut picked = self.sched.pick_next_task(&mut self.tasks, cpu, self.now);
+            if picked.is_none() {
+                // Newidle / idle-steal balancing.
+                let mut stats = SelectStats::default();
+                if self
+                    .sched
+                    .idle_balance(&mut self.tasks, cpu, self.now, &mut stats)
+                {
+                    self.counters.migrations += 1;
+                    picked = self.sched.pick_next_task(&mut self.tasks, cpu, self.now);
+                }
+            }
+            let Some(tid) = picked else {
+                self.cpus[cpu.index()].current = None;
+                self.trace.push(TraceEvent::Idle { at: self.now, cpu });
+                return;
+            };
+            debug_assert_eq!(self.tasks.get(tid).cpu, cpu, "picked task not on this cpu");
+
+            // Dispatch bookkeeping.
+            let prev_tid = self.cpus[cpu.index()].last_tid;
+            let is_switch = prev_tid != Some(tid);
+            let migrated_from = {
+                let t = self.tasks.get(tid);
+                if t.last_cpu != cpu && t.sum_exec > Dur::ZERO {
+                    Some(t.last_cpu)
+                } else {
+                    None
+                }
+            };
+            {
+                let t = self.tasks.get_mut(tid);
+                t.state = TaskState::Running;
+                t.last_cpu = cpu;
+            }
+            let c = &mut self.cpus[cpu.index()];
+            c.current = Some(tid);
+            c.last_tid = Some(tid);
+            c.resched_pending = false;
+            if is_switch {
+                self.counters.ctx_switches += 1;
+                self.hash.record(3, self.now, tid.0, cpu.0);
+                self.trace.push(TraceEvent::Switch {
+                    at: self.now,
+                    cpu,
+                    from: prev_tid,
+                    to: tid,
+                });
+                let cost = self.cfg.ctx_switch_cost;
+                self.cpus[cpu.index()].pending_overhead += cost;
+                self.cpus[cpu.index()].stats.overhead += cost;
+            }
+            if let Some(from) = migrated_from {
+                let dist = self.topo.distance(from, cpu) as u64;
+                let cost = self.cfg.migration_cost_per_distance.saturating_mul(dist);
+                self.cpus[cpu.index()].pending_overhead += cost;
+                self.cpus[cpu.index()].stats.overhead += cost;
+            }
+
+            let cont = std::mem::replace(
+                &mut self.trt[tid.index()].as_mut().expect("live").cont,
+                Cont::NeedAction,
+            );
+            match cont {
+                Cont::Run { left } => {
+                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Run { left };
+                    self.start_run_segment(cpu, left);
+                    return;
+                }
+                Cont::Spin {
+                    barrier,
+                    generation,
+                } => {
+                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Spin {
+                        barrier,
+                        generation,
+                    };
+                    self.start_spin_segment(cpu);
+                    return;
+                }
+                Cont::NeedAction => match self.interpret(cpu) {
+                    InterpretEnd::Running => return,
+                    InterpretEnd::NeedsPick => continue,
+                },
+                Cont::Blocked | Cont::Done => {
+                    unreachable!("picked a blocked/dead task {tid}")
+                }
+            }
+        }
+    }
+
+    /// Interpret zero-time actions of the current task on `cpu` until it
+    /// runs, spins, blocks, yields or exits.
+    fn interpret(&mut self, cpu: CpuId) -> InterpretEnd {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(
+                guard <= self.cfg.max_instant_actions,
+                "behavior on {cpu} emitted too many zero-time actions"
+            );
+            let tid = self.cpus[cpu.index()].current.expect("current");
+            let action = {
+                let rt = self.trt[tid.index()].as_mut().expect("live");
+                let mut behavior = rt.behavior.take().expect("behavior");
+                let value = rt.pending_value.take();
+                let mut ctx = Ctx {
+                    now: self.now,
+                    tid,
+                    cpu,
+                    value,
+                    rng: &mut rt.rng,
+                };
+                let action = behavior.next(&mut ctx);
+                self.trt[tid.index()].as_mut().expect("live").behavior = Some(behavior);
+                action
+            };
+            match action {
+                Action::Run(d) => {
+                    if d.is_zero() {
+                        continue;
+                    }
+                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Run { left: d };
+                    self.start_run_segment(cpu, d);
+                    return InterpretEnd::Running;
+                }
+                Action::Sleep(d) => {
+                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+                    self.block_current(cpu, tid);
+                    self.events.push(self.now + d, Event::TimerWake { tid });
+                    return InterpretEnd::NeedsPick;
+                }
+                Action::MutexLock(m) => {
+                    let out = self.sync.mutex_lock(m, tid);
+                    if self.apply_outcome(cpu, tid, out) {
+                        return InterpretEnd::NeedsPick;
+                    }
+                }
+                Action::MutexUnlock(m) => {
+                    let out = self.sync.mutex_unlock(m, tid);
+                    let blocked = self.apply_outcome(cpu, tid, out);
+                    debug_assert!(!blocked);
+                }
+                Action::SemWait(s) => {
+                    let out = self.sync.sem_wait(s, tid);
+                    if self.apply_outcome(cpu, tid, out) {
+                        return InterpretEnd::NeedsPick;
+                    }
+                }
+                Action::SemPost(s) => {
+                    let out = self.sync.sem_post(s);
+                    let blocked = self.apply_outcome(cpu, tid, out);
+                    debug_assert!(!blocked);
+                }
+                Action::BarrierWait(b) => {
+                    let out = self.sync.barrier_arrive(b, tid, false);
+                    if self.apply_outcome(cpu, tid, out) {
+                        return InterpretEnd::NeedsPick;
+                    }
+                }
+                Action::BarrierWaitSpin(b, budget) => {
+                    let generation = self.sync.barrier_generation(b);
+                    let out = self.sync.barrier_arrive(b, tid, true);
+                    if out.spin {
+                        self.trt[tid.index()].as_mut().expect("live").cont = Cont::Spin {
+                            barrier: b,
+                            generation,
+                        };
+                        self.events.push(
+                            self.now + budget,
+                            Event::SpinTimeout {
+                                tid,
+                                barrier: b,
+                                generation,
+                            },
+                        );
+                        self.start_spin_segment(cpu);
+                        return InterpretEnd::Running;
+                    }
+                    let blocked = self.apply_outcome(cpu, tid, out);
+                    debug_assert!(!blocked, "last arriver never blocks");
+                }
+                Action::QueuePut(q, v) => {
+                    let out = self.sync.queue_put(q, tid, v);
+                    if self.apply_outcome(cpu, tid, out) {
+                        return InterpretEnd::NeedsPick;
+                    }
+                }
+                Action::QueueGet(q) => {
+                    let out = self.sync.queue_get(q, tid);
+                    if self.apply_outcome(cpu, tid, out) {
+                        return InterpretEnd::NeedsPick;
+                    }
+                }
+                Action::PoolTake(p) => {
+                    let got = self.sync.pool_take(p);
+                    self.trt[tid.index()].as_mut().expect("live").pending_value = Some(got);
+                }
+                Action::Spawn(spec) => {
+                    let app = self.trt[tid.index()].as_ref().expect("live").app;
+                    self.spawn_thread(app, spec, Some(tid));
+                }
+                Action::Yield => {
+                    self.account_segment(cpu);
+                    self.cancel_segment(cpu);
+                    self.cpus[cpu.index()].current = None;
+                    let t = self.tasks.get_mut(tid);
+                    t.state = TaskState::Runnable;
+                    t.last_ran = self.now;
+                    self.sched.yield_task(&mut self.tasks, cpu, self.now);
+                    return InterpretEnd::NeedsPick;
+                }
+                Action::CountOps(n) => {
+                    let app = self.trt[tid.index()].as_ref().expect("live").app;
+                    self.apps[app.0 as usize].ops += n;
+                }
+                Action::RecordLatency(d) => {
+                    let app = self.trt[tid.index()].as_ref().expect("live").app;
+                    let a = &mut self.apps[app.0 as usize];
+                    a.lat_count += 1;
+                    a.lat_sum += d;
+                    a.lat_max = a.lat_max.max(d);
+                }
+                Action::Exit => {
+                    self.exit_current(cpu, tid);
+                    return InterpretEnd::NeedsPick;
+                }
+            }
+        }
+    }
+
+    /// Apply a synchronisation outcome for the current task `tid` on `cpu`.
+    /// Returns `true` if the task blocked (caller must stop interpreting).
+    fn apply_outcome(&mut self, cpu: CpuId, tid: Tid, out: OpOutcome) -> bool {
+        if let Some(v) = out.value {
+            self.trt[tid.index()].as_mut().expect("live").pending_value = Some(v);
+        }
+        for (w, val) in out.wake {
+            if let Some(v) = val {
+                self.trt[w.index()].as_mut().expect("live").pending_value = Some(v);
+            }
+            self.trt[w.index()].as_mut().expect("live").cont = Cont::NeedAction;
+            self.wake_task(w, Some(tid));
+        }
+        for s in out.release_spinners {
+            self.release_spinner(s);
+        }
+        if out.block {
+            self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+            self.block_current(cpu, tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A barrier released a spinning task: let it continue, wherever it is.
+    fn release_spinner(&mut self, tid: Tid) {
+        let rt = self.trt[tid.index()].as_mut().expect("live");
+        debug_assert!(matches!(rt.cont, Cont::Spin { .. }));
+        rt.cont = Cont::NeedAction;
+        let cpu = self.tasks.get(tid).cpu;
+        if self.cpus[cpu.index()].current == Some(tid) {
+            // Currently burning CPU in the spin loop; continue via an event
+            // to avoid re-entrant interpretation.
+            self.events.push(self.now, Event::Continue(tid));
+        }
+        // If it was preempted mid-spin it sits in a runqueue and will
+        // continue at its next dispatch.
+    }
+}

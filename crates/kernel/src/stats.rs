@@ -1,0 +1,199 @@
+//! Kernel-level accounting: global counters, per-CPU utilisation, per-app
+//! (cgroup) completion/throughput/latency records, and the determinism hash.
+
+use sched_api::GroupId;
+use simcore::{Dur, Fnv1a, Time};
+
+/// Global scheduler-activity counters.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Context switches (task → different task or idle → task).
+    pub ctx_switches: u64,
+    /// Involuntary preemptions (tick/wakeup-driven reschedules).
+    pub preemptions: u64,
+    /// Wakeups processed.
+    pub wakeups: u64,
+    /// Tasks moved between CPUs by the balancers.
+    pub migrations: u64,
+    /// Total CPUs examined by `select_task_rq` across all wakeups.
+    pub placement_scans: u64,
+    /// Tasks spawned.
+    pub spawns: u64,
+}
+
+/// Per-CPU utilisation accounting.
+#[derive(Debug, Default, Clone)]
+pub struct CpuStats {
+    /// Time spent executing application work.
+    pub work: Dur,
+    /// Time charged to scheduler/kernel overhead (context switches,
+    /// placement scans, migration cache penalties).
+    pub overhead: Dur,
+}
+
+impl CpuStats {
+    /// Fraction of `total` spent on overhead (0 if nothing ran).
+    pub fn overhead_fraction(&self, total: Dur) -> f64 {
+        if total.is_zero() {
+            0.0
+        } else {
+            self.overhead.as_nanos() as f64 / total.as_nanos() as f64
+        }
+    }
+}
+
+/// Per-application record (one per [`GroupId`] above the root).
+#[derive(Debug, Clone)]
+pub struct AppStats {
+    /// Application name from the [`crate::AppSpec`].
+    pub name: String,
+    /// The cgroup the kernel assigned.
+    pub group: GroupId,
+    /// When the app's initial threads were enqueued.
+    pub started: Option<Time>,
+    /// When the last of the app's threads exited.
+    pub finished: Option<Time>,
+    /// Live (not yet exited) threads.
+    pub live: usize,
+    /// Total threads ever spawned in the app.
+    pub spawned: usize,
+    /// Application-level operations completed (`Action::CountOps`).
+    pub ops: u64,
+    /// Latency samples recorded (`Action::RecordLatency`).
+    pub lat_count: u64,
+    /// Sum of latency samples.
+    pub lat_sum: Dur,
+    /// Largest latency sample.
+    pub lat_max: Dur,
+    /// Daemon apps never count toward "all apps done".
+    pub daemon: bool,
+}
+
+impl AppStats {
+    pub(crate) fn new(name: String, group: GroupId) -> AppStats {
+        AppStats {
+            name,
+            group,
+            started: None,
+            finished: None,
+            live: 0,
+            spawned: 0,
+            ops: 0,
+            lat_count: 0,
+            lat_sum: Dur::ZERO,
+            lat_max: Dur::ZERO,
+            daemon: false,
+        }
+    }
+
+    /// Wall-clock completion time, if the app started and finished.
+    pub fn elapsed(&self) -> Option<Dur> {
+        match (self.started, self.finished) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+
+    /// Mean recorded latency.
+    pub fn avg_latency(&self) -> Option<Dur> {
+        self.lat_sum.as_nanos().checked_div(self.lat_count).map(Dur)
+    }
+
+    /// Operations per second over the app's lifetime (or until `now` if
+    /// still running).
+    pub fn ops_per_sec(&self, now: Time) -> f64 {
+        let Some(start) = self.started else {
+            return 0.0;
+        };
+        let end = self.finished.unwrap_or(now);
+        match (end - start).as_secs_f64() {
+            secs if secs > 0.0 => self.ops as f64 / secs,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Rolling digest of the externally visible scheduling decisions; two runs
+/// with identical seeds must produce identical digests.
+#[derive(Debug)]
+pub struct DecisionHash {
+    hasher: Fnv1a,
+    events: u64,
+}
+
+impl Default for DecisionHash {
+    fn default() -> Self {
+        DecisionHash {
+            hasher: Fnv1a::new(),
+            events: 0,
+        }
+    }
+}
+
+impl DecisionHash {
+    /// Absorb one decision record.
+    pub fn record(&mut self, kind: u8, now: Time, a: u32, b: u32) {
+        self.hasher.write(&[kind]);
+        self.hasher.write_u64(now.as_nanos());
+        self.hasher.write_u32(a);
+        self.hasher.write_u32(b);
+        self.events += 1;
+    }
+
+    /// Current digest.
+    pub fn digest(&self) -> u64 {
+        self.hasher.finish()
+    }
+
+    /// Number of records absorbed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_stats_latency_math() {
+        let mut a = AppStats::new("x".into(), GroupId(1));
+        assert_eq!(a.avg_latency(), None);
+        a.lat_count = 2;
+        a.lat_sum = Dur::millis(30);
+        a.lat_max = Dur::millis(20);
+        assert_eq!(a.avg_latency(), Some(Dur::millis(15)));
+    }
+
+    #[test]
+    fn ops_per_sec_uses_finish_or_now() {
+        let mut a = AppStats::new("x".into(), GroupId(1));
+        a.started = Some(Time::ZERO);
+        a.ops = 100;
+        assert!((a.ops_per_sec(Time(2_000_000_000)) - 50.0).abs() < 1e-9);
+        a.finished = Some(Time(1_000_000_000));
+        assert!((a.ops_per_sec(Time(9_000_000_000)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_hash_sensitive_to_order() {
+        let mut x = DecisionHash::default();
+        x.record(1, Time(5), 1, 2);
+        x.record(2, Time(6), 3, 4);
+        let mut y = DecisionHash::default();
+        y.record(2, Time(6), 3, 4);
+        y.record(1, Time(5), 1, 2);
+        assert_ne!(x.digest(), y.digest());
+        assert_eq!(x.events(), 2);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let c = CpuStats {
+            work: Dur::millis(90),
+            overhead: Dur::millis(10),
+        };
+        assert!((c.overhead_fraction(Dur::millis(100)) - 0.1).abs() < 1e-12);
+        assert_eq!(c.overhead_fraction(Dur::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Scheduling trace events (flight recorder).
+//!
+//! When [`crate::SimConfig::trace_capacity`] is non-zero, the kernel
+//! records every externally visible scheduling decision into a bounded
+//! [`simcore::TraceBuffer`]. Experiments use traces for fine-grained
+//! analyses (e.g. per-hop latencies of the c-ray cascade); tests use them
+//! to assert event orderings.
+
+use sched_api::Tid;
+use simcore::Time;
+use topology::CpuId;
+
+/// One scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `cpu` switched from `from` to `to` (`None` = idle).
+    Switch {
+        /// When it happened.
+        at: Time,
+        /// The CPU that switched.
+        cpu: CpuId,
+        /// Previously running task.
+        from: Option<Tid>,
+        /// Task now running.
+        to: Tid,
+    },
+    /// A task was woken and enqueued on `cpu`.
+    Wakeup {
+        /// When it happened.
+        at: Time,
+        /// The woken task.
+        tid: Tid,
+        /// The runqueue it was placed on.
+        cpu: CpuId,
+        /// The task that performed the wakeup, if any.
+        waker: Option<Tid>,
+    },
+    /// A CPU went idle.
+    Idle {
+        /// When it happened.
+        at: Time,
+        /// The CPU that ran out of work.
+        cpu: CpuId,
+    },
+    /// A task exited.
+    Exit {
+        /// When it happened.
+        at: Time,
+        /// The exiting task.
+        tid: Tid,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Time {
+        match *self {
+            TraceEvent::Switch { at, .. }
+            | TraceEvent::Wakeup { at, .. }
+            | TraceEvent::Idle { at, .. }
+            | TraceEvent::Exit { at, .. } => at,
+        }
+    }
+
+    /// The primary task involved, if any.
+    pub fn tid(&self) -> Option<Tid> {
+        match *self {
+            TraceEvent::Switch { to, .. } => Some(to),
+            TraceEvent::Wakeup { tid, .. } | TraceEvent::Exit { tid, .. } => Some(tid),
+            TraceEvent::Idle { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Wakeup {
+            at: Time(5),
+            tid: Tid(3),
+            cpu: CpuId(1),
+            waker: None,
+        };
+        assert_eq!(e.at(), Time(5));
+        assert_eq!(e.tid(), Some(Tid(3)));
+        let idle = TraceEvent::Idle {
+            at: Time(9),
+            cpu: CpuId(0),
+        };
+        assert_eq!(idle.tid(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Tests of the flight-recorder trace.
+
+use kernel::{cpu_hog, AppSpec, Kernel, Script, SimConfig, SimpleRR, ThreadSpec, TraceEvent};
+use simcore::{Dur, Time};
+use topology::Topology;
+
+fn traced_kernel() -> Kernel {
+    let topo = Topology::single_core();
+    let mut cfg = SimConfig::frictionless(1);
+    cfg.trace_capacity = 10_000;
+    let sched = Box::new(SimpleRR::new(&topo));
+    Kernel::new(topo, cfg, sched)
+}
+
+#[test]
+fn trace_records_switches_wakeups_and_exits() {
+    let mut k = traced_kernel();
+    let _app = k.queue_app(
+        Time::ZERO,
+        AppSpec::new(
+            "t",
+            vec![
+                ThreadSpec::new(
+                    "sleeper",
+                    Box::new(Script::new(vec![
+                        kernel::Action::Run(Dur::millis(1)),
+                        kernel::Action::Sleep(Dur::millis(5)),
+                        kernel::Action::Run(Dur::millis(1)),
+                    ])),
+                ),
+                ThreadSpec::new("hog", cpu_hog(Dur::millis(10), Dur::millis(10))),
+            ],
+        ),
+    );
+    assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(1)));
+    let events: Vec<_> = k.trace().iter().cloned().collect();
+    assert!(!events.is_empty());
+
+    let switches = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Switch { .. }))
+        .count();
+    let wakeups = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Wakeup { .. }))
+        .count();
+    let exits = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Exit { .. }))
+        .count();
+    let idles = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Idle { .. }))
+        .count();
+    assert!(switches >= 3, "sleeper/hog alternation: {switches}");
+    assert_eq!(wakeups, 1, "one timer wakeup");
+    assert_eq!(exits, 2, "both threads exit");
+    assert!(idles >= 1, "the core idles at the end");
+
+    // Timestamps are non-decreasing.
+    let mut last = Time::ZERO;
+    for e in &events {
+        assert!(e.at() >= last, "trace must be time-ordered");
+        last = e.at();
+    }
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let topo = Topology::single_core();
+    let sched = Box::new(SimpleRR::new(&topo));
+    let mut k = Kernel::new(topo, SimConfig::frictionless(1), sched);
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new(
+            "t",
+            vec![ThreadSpec::new(
+                "h",
+                cpu_hog(Dur::millis(5), Dur::millis(5)),
+            )],
+        ),
+    );
+    assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(1)));
+    assert!(k.trace().is_empty(), "tracing must be opt-in");
+    assert!(
+        k.trace().dropped() > 0,
+        "events were counted but not stored"
+    );
+}
+
+#[test]
+fn trace_is_bounded() {
+    let topo = Topology::single_core();
+    let mut cfg = SimConfig::frictionless(1);
+    cfg.trace_capacity = 8;
+    let sched = Box::new(SimpleRR::new(&topo));
+    let mut k = Kernel::new(topo, cfg, sched);
+    let threads = (0..4)
+        .map(|i| ThreadSpec::new(format!("h{i}"), cpu_hog(Dur::millis(50), Dur::millis(5))))
+        .collect();
+    k.queue_app(Time::ZERO, AppSpec::new("many", threads));
+    assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(2)));
+    assert!(k.trace().len() <= 8, "flight recorder stays bounded");
+    assert!(k.trace().dropped() > 0, "older events were evicted");
+}

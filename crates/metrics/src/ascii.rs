@@ -1,0 +1,131 @@
+//! Horizontal bar charts for the performance-comparison figures (5, 8, 9).
+
+use serde::Serialize;
+
+/// One labelled signed value (e.g. "% diff of ULE w.r.t. CFS").
+#[derive(Debug, Clone, Serialize)]
+pub struct Bar {
+    /// Label, e.g. the application name.
+    pub label: String,
+    /// Signed value; positive bars extend right.
+    pub value: f64,
+}
+
+/// A labelled horizontal bar chart with a zero axis in the middle — the
+/// shape of the paper's Figures 5 and 8.
+#[derive(Debug, Clone, Serialize)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Axis unit, e.g. `"% diff vs CFS"`.
+    pub unit: String,
+    /// The bars, in display order.
+    pub bars: Vec<Bar>,
+}
+
+impl BarChart {
+    /// Empty chart.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            unit: unit.into(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Append a bar.
+    pub fn push(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push(Bar {
+            label: label.into(),
+            value,
+        });
+    }
+
+    /// Mean of all bar values.
+    pub fn mean(&self) -> f64 {
+        if self.bars.is_empty() {
+            0.0
+        } else {
+            self.bars.iter().map(|b| b.value).sum::<f64>() / self.bars.len() as f64
+        }
+    }
+
+    /// Render with `half` characters on each side of the zero axis.
+    pub fn render(&self, half: usize) -> String {
+        let label_w = self
+            .bars
+            .iter()
+            .map(|b| b.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let vmax = self
+            .bars
+            .iter()
+            .map(|b| b.value.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut out = format!("{} ({})\n", self.title, self.unit);
+        for b in &self.bars {
+            let n = ((b.value.abs() / vmax) * half as f64).round() as usize;
+            let (left, right) = if b.value < 0.0 {
+                (
+                    format!(
+                        "{}{}",
+                        " ".repeat(half - n.min(half)),
+                        "▆".repeat(n.min(half))
+                    ),
+                    String::new(),
+                )
+            } else {
+                (" ".repeat(half), "▆".repeat(n.min(half)))
+            };
+            out.push_str(&format!(
+                "{:<label_w$} {left}│{right:<half$} {:+7.1}\n",
+                b.label, b.value
+            ));
+        }
+        out.push_str(&format!("{:<label_w$} mean {:+.2}\n", "", self.mean()));
+        out
+    }
+
+    /// CSV export.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,value\n");
+        for b in &self.bars {
+            out.push_str(&format!("{},{:.4}\n", b.label, b.value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_render() {
+        let mut c = BarChart::new("Fig 5", "% diff");
+        c.push("apache", 40.0);
+        c.push("scimark", -36.0);
+        assert!((c.mean() - 2.0).abs() < 1e-9);
+        let r = c.render(20);
+        assert!(r.contains("apache"));
+        assert!(r.contains("scimark"));
+        assert!(r.contains("+40.0"));
+        assert!(r.contains("-36.0"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut c = BarChart::new("t", "u");
+        c.push("x", 1.5);
+        assert_eq!(c.to_csv(), "label,value\nx,1.5000\n");
+    }
+
+    #[test]
+    fn empty_chart_mean_zero() {
+        let c = BarChart::new("t", "u");
+        assert_eq!(c.mean(), 0.0);
+    }
+}

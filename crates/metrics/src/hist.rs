@@ -1,0 +1,119 @@
+//! Latency histograms (log-spaced buckets).
+
+use serde::Serialize;
+use simcore::Dur;
+
+/// A histogram over durations with power-of-two microsecond buckets.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i µs, 2^(i+1) µs)`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Histogram {
+    /// Empty histogram (covers 1 µs .. ~4600 s).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Dur) {
+        let us = d.as_micros().max(1);
+        let idx = (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += d.as_nanos() as u128;
+        self.max_ns = self.max_ns.max(d.as_nanos());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> Dur {
+        if self.count == 0 {
+            Dur::ZERO
+        } else {
+            Dur((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Dur {
+        Dur(self.max_ns)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Dur {
+        if self.count == 0 {
+            return Dur::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Dur::micros(1u64 << (i + 1));
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        let mut h = Histogram::new();
+        h.record(Dur::millis(10));
+        h.record(Dur::millis(30));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Dur::millis(20));
+        assert_eq!(h.max(), Dur::millis(30));
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(Dur::millis(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 >= Dur::millis(32) && p50 <= Dur::millis(128), "{p50}");
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Dur::ZERO);
+        assert_eq!(h.quantile(0.5), Dur::ZERO);
+    }
+
+    #[test]
+    fn sub_microsecond_clamps_to_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(Dur::nanos(10));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) <= Dur::micros(2));
+    }
+}

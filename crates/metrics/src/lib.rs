@@ -1,0 +1,28 @@
+//! Measurement substrate for the experiments.
+//!
+//! The paper's figures come in three shapes, and this crate provides a data
+//! structure + renderer for each:
+//!
+//! * time series of per-thread quantities (Figures 1–4) → [`TimeSeries`],
+//! * per-core thread-count matrices over time (Figures 6–7) →
+//!   [`PerCoreSeries`] with an ASCII heatmap like the paper's colour plots,
+//! * per-application performance comparisons (Figures 5, 8, 9) →
+//!   [`BarChart`].
+//!
+//! Latency distributions (Table 2) use [`Histogram`]. Everything exports to
+//! CSV/JSON so results can be post-processed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod hist;
+pub mod percore;
+pub mod series;
+pub mod table;
+
+pub use ascii::BarChart;
+pub use hist::Histogram;
+pub use percore::PerCoreSeries;
+pub use series::TimeSeries;
+pub use table::Table;

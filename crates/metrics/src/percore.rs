@@ -1,0 +1,170 @@
+//! Per-core thread counts over time (Figures 6 and 7).
+
+use serde::Serialize;
+use simcore::Time;
+
+/// A matrix of per-core values sampled over time.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerCoreSeries {
+    /// Sample times (seconds).
+    pub times: Vec<f64>,
+    /// `counts[i][core]` at `times[i]`.
+    pub counts: Vec<Vec<u32>>,
+}
+
+impl PerCoreSeries {
+    /// Empty matrix.
+    pub fn new() -> PerCoreSeries {
+        PerCoreSeries {
+            times: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Append one sample row.
+    pub fn push(&mut self, t: Time, row: Vec<u32>) {
+        if let Some(prev) = self.counts.first() {
+            assert_eq!(prev.len(), row.len(), "inconsistent core count");
+        }
+        self.times.push(t.as_secs_f64());
+        self.counts.push(row);
+    }
+
+    /// Number of cores.
+    pub fn nr_cores(&self) -> usize {
+        self.counts.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// The spread `max - min` of the final sample (0 = perfectly even).
+    pub fn final_spread(&self) -> u32 {
+        match self.counts.last() {
+            Some(row) if !row.is_empty() => row.iter().max().unwrap() - row.iter().min().unwrap(),
+            _ => 0,
+        }
+    }
+
+    /// First sample time at which the spread fell to `tolerance` or below
+    /// and stayed there; `None` if never.
+    pub fn convergence_time(&self, tolerance: u32) -> Option<f64> {
+        let spread =
+            |row: &Vec<u32>| row.iter().max().unwrap_or(&0) - row.iter().min().unwrap_or(&0);
+        let mut candidate = None;
+        for (i, row) in self.counts.iter().enumerate() {
+            if spread(row) <= tolerance {
+                if candidate.is_none() {
+                    candidate = Some(self.times[i]);
+                }
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// ASCII heatmap in the style of the paper's Figure 6: one row per
+    /// core, one character column per sample; darker glyph = more threads.
+    pub fn heatmap(&self) -> String {
+        if self.counts.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let max = self
+            .counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for core in 0..self.nr_cores() {
+            out.push_str(&format!("core {core:>2} │"));
+            for row in &self.counts {
+                let v = row[core];
+                let g = if v == 0 {
+                    0
+                } else {
+                    1 + (v as usize - 1) * (glyphs.len() - 2) / (max as usize).max(1) + 1
+                };
+                out.push(glyphs[g.min(glyphs.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "         └ t = {:.1}s .. {:.1}s, max {} threads/core\n",
+            self.times.first().unwrap(),
+            self.times.last().unwrap(),
+            max
+        ));
+        out
+    }
+
+    /// CSV export: `time_s,core0,core1,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s");
+        for c in 0..self.nr_cores() {
+            out.push_str(&format!(",core{c}"));
+        }
+        out.push('\n');
+        for (i, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{:.3}", self.times[i]));
+            for v in row {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for PerCoreSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Dur;
+
+    #[test]
+    fn spread_and_convergence() {
+        let mut m = PerCoreSeries::new();
+        m.push(Time::ZERO, vec![10, 0]);
+        m.push(Time::ZERO + Dur::secs(1), vec![6, 4]);
+        m.push(Time::ZERO + Dur::secs(2), vec![5, 5]);
+        m.push(Time::ZERO + Dur::secs(3), vec![5, 5]);
+        assert_eq!(m.final_spread(), 0);
+        assert_eq!(m.convergence_time(0), Some(2.0));
+        assert_eq!(m.convergence_time(2), Some(1.0));
+    }
+
+    #[test]
+    fn convergence_requires_staying_converged() {
+        let mut m = PerCoreSeries::new();
+        m.push(Time::ZERO, vec![5, 5]);
+        m.push(Time::ZERO + Dur::secs(1), vec![9, 1]);
+        m.push(Time::ZERO + Dur::secs(2), vec![5, 5]);
+        assert_eq!(m.convergence_time(0), Some(2.0), "early dip doesn't count");
+    }
+
+    #[test]
+    fn heatmap_and_csv_render() {
+        let mut m = PerCoreSeries::new();
+        m.push(Time::ZERO, vec![3, 0, 1]);
+        m.push(Time::ZERO + Dur::secs(1), vec![2, 1, 1]);
+        let h = m.heatmap();
+        assert!(h.contains("core  0"));
+        let csv = m.to_csv();
+        assert!(csv.starts_with("time_s,core0,core1,core2"));
+        assert!(csv.contains("0.000,3,0,1"));
+    }
+
+    #[test]
+    fn never_converges_is_none() {
+        let mut m = PerCoreSeries::new();
+        m.push(Time::ZERO, vec![10, 0]);
+        assert_eq!(m.convergence_time(0), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Named time series of sampled values.
+
+use serde::Serialize;
+use simcore::Time;
+
+/// One named series of `(time, value)` samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeSeries {
+    /// Display name, e.g. `"fibo"`.
+    pub name: String,
+    /// Samples in non-decreasing time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample (time converted to seconds).
+    pub fn push(&mut self, t: Time, v: f64) {
+        debug_assert!(
+            self.points
+                .last()
+                .map(|&(pt, _)| pt <= t.as_secs_f64())
+                .unwrap_or(true),
+            "samples must be time-ordered"
+        );
+        self.points.push((t.as_secs_f64(), v));
+    }
+
+    /// Last sampled value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Largest sampled value.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max)
+    }
+
+    /// Render several series as a CSV with a shared time column (series
+    /// must have been sampled at the same instants).
+    pub fn to_csv(series: &[&TimeSeries]) -> String {
+        let mut out = String::from("time_s");
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+        for i in 0..n {
+            out.push_str(&format!("{:.3}", series[0].points[i].0));
+            for s in series {
+                out.push_str(&format!(",{:.6}", s.points[i].1));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render series as a compact multi-line ASCII chart: one character
+    /// column per sample bucket, `height` rows.
+    pub fn ascii_chart(series: &[&TimeSeries], width: usize, height: usize) -> String {
+        if series.is_empty() || series.iter().all(|s| s.points.is_empty()) {
+            return String::from("(no data)\n");
+        }
+        let tmax = series
+            .iter()
+            .flat_map(|s| s.points.last().map(|&(t, _)| t))
+            .fold(0.0f64, f64::max);
+        let vmax = series
+            .iter()
+            .map(|s| s.max())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let marks = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in series.iter().enumerate() {
+            let mark = marks[si % marks.len()];
+            for &(t, v) in &s.points {
+                let x = ((t / tmax.max(1e-12)) * (width - 1) as f64).round() as usize;
+                let y = ((v / vmax) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - y.min(height - 1);
+                grid[row][x.min(width - 1)] = mark;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{vmax:>10.1} ┐\n"));
+        for row in grid {
+            out.push_str("           │");
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "       0.0 └{}\n            0s{}{tmax:.0}s\n",
+            "─".repeat(width),
+            " ".repeat(width.saturating_sub(6)),
+        ));
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", marks[si % marks.len()], s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Dur;
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = TimeSeries::new("x");
+        s.push(Time::ZERO, 1.0);
+        s.push(Time::ZERO + Dur::secs(1), 3.0);
+        s.push(Time::ZERO + Dur::secs(2), 2.0);
+        assert_eq!(s.last(), Some(2.0));
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut a = TimeSeries::new("a");
+        let mut b = TimeSeries::new("b");
+        for i in 0..3 {
+            a.push(Time(i * 1_000_000_000), i as f64);
+            b.push(Time(i * 1_000_000_000), (i * 2) as f64);
+        }
+        let csv = TimeSeries::to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("1.000,1.000000,2.000000"));
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let mut a = TimeSeries::new("runtime");
+        for i in 0..50 {
+            a.push(Time(i * 1_000_000_000), i as f64);
+        }
+        let chart = TimeSeries::ascii_chart(&[&a], 40, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("runtime"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let a = TimeSeries::new("empty");
+        assert_eq!(TimeSeries::ascii_chart(&[&a], 10, 4), "(no data)\n");
+    }
+}

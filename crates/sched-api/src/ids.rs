@@ -1,0 +1,58 @@
+//! Task and group identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task (thread). Dense indices into the task table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// Index into per-task arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// Identifier of a control group (one per application in this model).
+///
+/// Since Linux 2.6.38, CFS arbitrates fairness between cgroups rather than
+/// between raw threads (autogroup / systemd per-application groups); the
+/// simulated kernel assigns every spawned application its own group. ULE
+/// ignores groups entirely — "ULE does not group threads into cgroups, but
+/// rather considers each thread as an independent entity" (§2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The root group: kernel threads and anything not in an application.
+    pub const ROOT: GroupId = GroupId(0);
+
+    /// Index into per-group arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        assert_eq!(Tid(7).index(), 7);
+        assert_eq!(GroupId::ROOT.index(), 0);
+        assert_eq!(format!("{}", Tid(3)), "tid3");
+    }
+}

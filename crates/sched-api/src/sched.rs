@@ -1,0 +1,221 @@
+//! The scheduling-class trait — the paper's Table 1 as a Rust interface.
+//!
+//! | Linux              | FreeBSD equivalent                         | Trait method        |
+//! |--------------------|--------------------------------------------|---------------------|
+//! | `enqueue_task`     | `sched_add` (new) / `sched_wakeup` (woken) | [`Scheduler::enqueue_task`] |
+//! | `dequeue_task`     | `sched_rem`                                | [`Scheduler::dequeue_task`] |
+//! | `yield_task`       | `sched_relinquish`                         | [`Scheduler::yield_task`]   |
+//! | `pick_next_task`   | `sched_choose`                             | [`Scheduler::pick_next_task`] |
+//! | `put_prev_task`    | `sched_switch`                             | [`Scheduler::put_prev_task`]  |
+//! | `select_task_rq`   | `sched_pickcpu`                            | [`Scheduler::select_task_rq`] |
+//!
+//! Linux distinguishes "new" from "woken-up" enqueues with a flag where
+//! FreeBSD has two functions; [`EnqueueKind`] carries that flag, exactly the
+//! workaround §3 of the paper describes.
+//!
+//! Beyond Table 1 the trait exposes the hooks the core kernel calls on every
+//! class: the scheduler tick (`task_tick`), fork/exit notification
+//! (`task_fork`/`task_dead`, carrying ULE's interactivity inheritance), and
+//! the balancing entry points (`balance_tick` for periodic balancing,
+//! `idle_balance` for newidle/idle-steal).
+
+use simcore::Time;
+use topology::CpuId;
+
+use crate::ids::Tid;
+use crate::task::TaskTable;
+
+/// Why a CPU is being selected for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeKind {
+    /// The task was just forked (`sched_add` path).
+    New,
+    /// The task is waking from sleep (`sched_wakeup` path). Carries the
+    /// waking task so placement heuristics can inspect the waker
+    /// (CFS's wake-affine/wake-wide logic).
+    Wakeup {
+        /// Task that issued the wakeup, if any (timer wakeups have none).
+        waker: Option<Tid>,
+    },
+}
+
+/// Why a task is being enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueKind {
+    /// Newly created task (FreeBSD `sched_add`).
+    New,
+    /// Task waking up from voluntary sleep (FreeBSD `sched_wakeup`).
+    Wakeup,
+    /// Task being moved by the load balancer.
+    Migrate,
+    /// Task being put back after running (timeslice round-robin, yield).
+    Requeue,
+}
+
+/// Why a task is being dequeued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeueKind {
+    /// Going to sleep voluntarily.
+    Sleep,
+    /// Being moved by the load balancer.
+    Migrate,
+    /// Exiting.
+    Dead,
+}
+
+/// Whether the currently running task on the affected CPU should be
+/// preempted as a result of a scheduler operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preempt {
+    /// Keep running the current task.
+    No,
+    /// Reschedule the CPU as soon as possible.
+    Yes,
+}
+
+/// Out-parameters of [`Scheduler::select_task_rq`] used to charge the waking
+/// CPU for placement work. The paper measures ULE spending up to 13 % of
+/// cycles scanning cores on sysbench wakeups (§6.3); the simulated kernel
+/// converts `cpus_scanned` into time charged to the waker's CPU.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectStats {
+    /// Number of CPUs examined during placement.
+    pub cpus_scanned: u32,
+}
+
+/// A point-in-time view of scheduler-internal per-task state, for the
+/// figures that plot vruntime/penalty. Fields are `None` when the concept
+/// does not exist in the active scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskSnapshot {
+    /// CFS virtual runtime, in nanoseconds.
+    pub vruntime_ns: Option<u64>,
+    /// CFS per-entity load average (PELT-style, 0..=weight).
+    pub load: Option<u64>,
+    /// ULE interactivity penalty, 0..=100 (Figure 2/4).
+    pub ule_penalty: Option<u32>,
+    /// ULE score = penalty + nice contribution.
+    pub ule_score: Option<i32>,
+    /// ULE classification: `true` if on the interactive runqueue.
+    pub interactive: Option<bool>,
+    /// Effective priority in the scheduler's own scale.
+    pub prio: Option<i32>,
+    /// Current timeslice length, if the scheduler uses fixed slices.
+    pub timeslice_ns: Option<u64>,
+}
+
+/// A scheduling class. One instance manages the runqueues of *all* CPUs
+/// (as the per-CPU data is owned by the class), mirroring Linux where the
+/// class's per-CPU state hangs off each `struct rq`.
+///
+/// Invariants the kernel relies on:
+///
+/// * A task is in at most one runqueue at any time.
+/// * `pick_next_task` removes the picked task from the queue structure;
+///   `put_prev_task` reinserts it if it is still runnable. (The "current
+///   stays in the runqueue" Linux convention from §3 is modelled by the
+///   class still *counting* the running task in [`Scheduler::nr_queued`].)
+/// * The load balancer never migrates a currently running task (§3).
+pub trait Scheduler {
+    /// Short machine-readable name: `"cfs"` or `"ule"`.
+    fn name(&self) -> &'static str;
+
+    /// Choose the CPU on which a new or waking task should be enqueued.
+    /// Linux `select_task_rq` ↔ FreeBSD `sched_pickcpu`.
+    ///
+    /// `stats.cpus_scanned` must be incremented for every CPU examined so
+    /// the kernel can charge placement overhead to `waking_cpu`.
+    fn select_task_rq(
+        &mut self,
+        tasks: &TaskTable,
+        tid: Tid,
+        kind: WakeKind,
+        waking_cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> CpuId;
+
+    /// Add a task to `cpu`'s runqueue. Linux `enqueue_task` ↔ FreeBSD
+    /// `sched_add` / `sched_wakeup` (selected by `kind`).
+    ///
+    /// Returns whether the task should preempt `cpu`'s current task. (ULE
+    /// returns [`Preempt::No`] for timeshare tasks: "full preemption is
+    /// disabled"; CFS applies the 1 ms wakeup-granularity vruntime check.)
+    fn enqueue_task(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        tid: Tid,
+        kind: EnqueueKind,
+        now: Time,
+    ) -> Preempt;
+
+    /// Remove a task from `cpu`'s runqueue. Linux `dequeue_task` ↔ FreeBSD
+    /// `sched_rem`.
+    fn dequeue_task(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        tid: Tid,
+        kind: DequeueKind,
+        now: Time,
+    );
+
+    /// The current task gives up the CPU. Linux `yield_task` ↔ FreeBSD
+    /// `sched_relinquish`.
+    fn yield_task(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time);
+
+    /// Select the next task to run on `cpu`, removing it from the queue
+    /// structure. Linux `pick_next_task` ↔ FreeBSD `sched_choose`.
+    /// `None` means the CPU should run its idle loop.
+    fn pick_next_task(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Option<Tid>;
+
+    /// Account for the task that just stopped running and reinsert it into
+    /// the queue if still runnable. Linux `put_prev_task` ↔ FreeBSD
+    /// `sched_switch`.
+    fn put_prev_task(&mut self, tasks: &mut TaskTable, cpu: CpuId, tid: Tid, now: Time);
+
+    /// Scheduler tick for the running task `curr` on `cpu` (1 ms cadence).
+    /// Returns whether `curr` should be preempted (slice exhausted, fairness
+    /// violated, ...).
+    fn task_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, curr: Tid, now: Time) -> Preempt;
+
+    /// A task was forked. ULE copies the parent's sleep/run history here
+    /// ("when a thread is created, it inherits the runtime and sleeptime of
+    /// its parent"); CFS initialises the child's vruntime.
+    fn task_fork(&mut self, tasks: &TaskTable, child: Tid, parent: Option<Tid>, now: Time);
+
+    /// A task died. ULE refunds the child's recent runtime to the parent
+    /// ("when a thread dies, its runtime in the last 5 seconds is returned
+    /// to its parent").
+    fn task_dead(&mut self, tasks: &TaskTable, tid: Tid, now: Time);
+
+    /// Periodic-balancing opportunity, invoked on every tick of every CPU.
+    /// The class keeps its own timers: CFS balances a domain when that
+    /// domain's interval expired (4 ms base); ULE acts only on core 0 with a
+    /// randomized 0.5–1.5 s period. Migrations are applied internally
+    /// (updating `Task::cpu`); the return value lists CPUs that received
+    /// tasks and should be rescheduled if idle.
+    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId>;
+
+    /// `cpu` is about to go idle; try to steal/pull work. Returns `true` if
+    /// at least one task was pulled into `cpu`'s runqueue. Linux newidle
+    /// balancing ↔ FreeBSD `tdq_idled`.
+    fn idle_balance(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> bool;
+
+    /// Number of tasks the class accounts to `cpu`'s runqueue, *including*
+    /// the currently running one (the paper's ported-ULE convention).
+    fn nr_queued(&self, cpu: CpuId) -> usize;
+
+    /// Tids currently queued on `cpu` (excluding the running task).
+    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid>;
+
+    /// Point-in-time scheduler-internal state of a task, for the figures.
+    fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot;
+}

@@ -1,0 +1,89 @@
+//! Linux's nice→weight mapping.
+//!
+//! CFS weighs a thread's vruntime progression and its load contribution by
+//! this table: each nice step changes the weight by ≈ 1.25×, so one nice
+//! level ≈ 10 % CPU share difference between two competing threads. The
+//! values are `sched_prio_to_weight[]` from `kernel/sched/core.c`, verbatim.
+
+/// The CFS weight of a nice-0 task.
+pub const NICE_0_LOAD: u64 = 1024;
+
+/// Lowest (most favourable) nice value.
+pub const MIN_NICE: i32 = -20;
+/// Highest (least favourable) nice value.
+pub const MAX_NICE: i32 = 19;
+
+/// Linux `sched_prio_to_weight`: index 0 is nice −20, index 39 is nice +19.
+pub const PRIO_TO_WEIGHT: [u64; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20 .. -16
+    29154, 23254, 18705, 14949, 11916, // -15 .. -11
+    9548, 7620, 6100, 4904, 3906, // -10 .. -6
+    3121, 2501, 1991, 1586, 1277, // -5 .. -1
+    1024, 820, 655, 526, 423, // 0 .. 4
+    335, 272, 215, 172, 137, // 5 .. 9
+    110, 87, 70, 56, 45, // 10 .. 14
+    36, 29, 23, 18, 15, // 15 .. 19
+];
+
+/// The CFS load weight for a nice level (clamped into `[-20, 19]`).
+pub fn nice_to_weight(nice: i32) -> u64 {
+    let idx = (nice.clamp(MIN_NICE, MAX_NICE) - MIN_NICE) as usize;
+    PRIO_TO_WEIGHT[idx]
+}
+
+/// Linux static priority of a nice level: `120 + nice`, inside the CFS range
+/// 100–139 that the paper scales ULE's scores into (§3).
+pub fn nice_to_prio(nice: i32) -> i32 {
+    120 + nice.clamp(MIN_NICE, MAX_NICE)
+}
+
+/// Inverse of [`nice_to_prio`].
+pub fn prio_to_nice(prio: i32) -> i32 {
+    (prio - 120).clamp(MIN_NICE, MAX_NICE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_zero_is_1024() {
+        assert_eq!(nice_to_weight(0), NICE_0_LOAD);
+    }
+
+    #[test]
+    fn extremes_match_linux_table() {
+        assert_eq!(nice_to_weight(-20), 88761);
+        assert_eq!(nice_to_weight(19), 15);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(nice_to_weight(-100), 88761);
+        assert_eq!(nice_to_weight(100), 15);
+    }
+
+    #[test]
+    fn neighbouring_levels_differ_by_about_25_percent() {
+        for n in MIN_NICE..MAX_NICE {
+            let hi = nice_to_weight(n) as f64;
+            let lo = nice_to_weight(n + 1) as f64;
+            let ratio = hi / lo;
+            assert!(
+                (1.15..1.40).contains(&ratio),
+                "nice {n}→{} ratio {ratio}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn prio_round_trip() {
+        for n in MIN_NICE..=MAX_NICE {
+            assert_eq!(prio_to_nice(nice_to_prio(n)), n);
+        }
+        assert_eq!(nice_to_prio(0), 120);
+        assert!((100..=139).contains(&nice_to_prio(-20)));
+        assert!((100..=139).contains(&nice_to_prio(19)));
+    }
+}

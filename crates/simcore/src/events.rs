@@ -1,0 +1,201 @@
+//! The simulation event queue.
+//!
+//! A classic calendar for discrete-event simulation: events are pushed with a
+//! firing [`Time`] and popped in (time, insertion-order) order, so that events
+//! scheduled for the same instant fire in FIFO order — a property the kernel
+//! relies on for determinism.
+//!
+//! Cancellation is O(1): [`EventQueue::push`] returns an [`EventId`] and
+//! [`EventQueue::cancel`] marks it dead; dead entries are skipped lazily on
+//! pop. The kernel uses this to invalidate a task's pending run-completion
+//! event whenever the task is preempted, migrated, or charged overhead.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Time, u64)>,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A time-ordered event queue with stable same-time ordering and lazy
+/// cancellation.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Monotonic sequence number; doubles as the event id.
+    next_seq: u64,
+    /// Sorted set of cancelled ids would be overkill; a hash set suffices.
+    cancelled: std::collections::HashSet<u64>,
+    /// Time of the most recently popped event; pops are monotone.
+    last_pop: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            last_pop: Time::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`. Events at equal times fire in
+    /// insertion order.
+    pub fn push(&mut self, at: Time, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            payload,
+        });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired (or was already cancelled) is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Remove and return the earliest live event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            let Reverse((at, seq)) = entry.key;
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            debug_assert!(at >= self.last_pop, "event queue went back in time");
+            self.last_pop = at;
+            return Some((at, entry.payload));
+        }
+        None
+    }
+
+    /// The firing time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Drain dead entries from the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            let Reverse((_, seq)) = entry.key;
+            if self.cancelled.contains(&seq) {
+                let Reverse((_, seq)) = self.heap.pop().expect("peeked").key;
+                self.cancelled.remove(&seq);
+            } else {
+                let Reverse((at, _)) = entry.key;
+                return Some(at);
+            }
+        }
+        None
+    }
+
+    /// Number of entries currently stored, including not-yet-skipped
+    /// cancelled ones. Useful only as a rough size signal.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), "c");
+        q.push(Time(10), "a");
+        q.push(Time(20), "b");
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), "a");
+        q.push(Time(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((Time(2), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), "a");
+        assert_eq!(q.pop(), Some((Time(1), "a")));
+        q.cancel(a); // must not disturb later events
+        q.push(Time(2), "b");
+        assert_eq!(q.pop(), Some((Time(2), "b")));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), "a");
+        q.push(Time(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time(5)));
+        assert_eq!(q.pop(), Some((Time(5), "b")));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time::ZERO + Dur::millis(1), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Simulated time.
+//!
+//! All simulation time is expressed in integer nanoseconds since simulation
+//! start. Two newtypes keep instants and durations apart at the type level:
+//! [`Time`] (an instant) and [`Dur`] (a span). Arithmetic between them is
+//! defined only in the combinations that make sense (`Time + Dur = Time`,
+//! `Time - Time = Dur`, ...), which catches unit bugs at compile time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Time = Time(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: Dur) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+    /// Largest representable span.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Span of `n` nanoseconds.
+    #[inline]
+    pub const fn nanos(n: u64) -> Dur {
+        Dur(n)
+    }
+
+    /// Span of `n` microseconds.
+    #[inline]
+    pub const fn micros(n: u64) -> Dur {
+        Dur(n * 1_000)
+    }
+
+    /// Span of `n` milliseconds.
+    #[inline]
+    pub const fn millis(n: u64) -> Dur {
+        Dur(n * 1_000_000)
+    }
+
+    /// Span of `n` seconds.
+    #[inline]
+    pub const fn secs(n: u64) -> Dur {
+        Dur(n * 1_000_000_000)
+    }
+
+    /// Span of `s` seconds given as a float; rounds to the nearest nanosecond.
+    #[inline]
+    pub fn secs_f64(s: f64) -> Dur {
+        debug_assert!(s >= 0.0, "durations are non-negative");
+        Dur((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this span.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds in this span (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds in this span (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds in this span, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `true` if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Multiply by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Dur> for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: Dur) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn rem(self, rhs: Dur) -> Dur {
+        Dur(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Dur::nanos(7).as_nanos(), 7);
+        assert_eq!(Dur::micros(3).as_nanos(), 3_000);
+        assert_eq!(Dur::millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Dur::secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Dur::secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn time_dur_arithmetic() {
+        let t = Time::ZERO + Dur::millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!(t - Time::ZERO, Dur::millis(5));
+        assert_eq!((t + Dur::millis(5)) - t, Dur::millis(5));
+        assert_eq!(t - Dur::millis(5), Time::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time(100);
+        let b = Time(50);
+        assert_eq!(a.saturating_since(b), Dur(50));
+        assert_eq!(b.saturating_since(a), Dur::ZERO);
+    }
+
+    #[test]
+    fn div_and_rem() {
+        assert_eq!(Dur::millis(10) / Dur::millis(3), 3);
+        assert_eq!(Dur::millis(10) % Dur::millis(3), Dur::millis(1));
+        assert_eq!(Dur::millis(10) / 2, Dur::millis(5));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Dur::nanos(12)), "12ns");
+        assert_eq!(format!("{}", Dur::micros(12)), "12.000us");
+        assert_eq!(format!("{}", Dur::millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Dur::secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Time::MAX.checked_add(Dur::nanos(1)), None);
+        assert_eq!(Time(1).checked_add(Dur::nanos(1)), Some(Time(2)));
+    }
+}

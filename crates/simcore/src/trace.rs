@@ -1,0 +1,98 @@
+//! Bounded trace buffer.
+//!
+//! The kernel records scheduling events (switches, wakeups, migrations, ...)
+//! into a [`TraceBuffer`]. Experiments that need full traces set a large
+//! capacity; by default the buffer is bounded so that long simulations do not
+//! exhaust memory, dropping the *oldest* events first (like a flight
+//! recorder).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO buffer of trace records.
+#[derive(Debug)]
+pub struct TraceBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Buffer keeping at most `capacity` records (0 disables recording).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            buf: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of records dropped due to capacity (or disabled recording).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Drain all retained records, oldest first.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.buf.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut t = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            t.push(i);
+        }
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut t = TraceBuffer::with_capacity(0);
+        t.push(1);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut t = TraceBuffer::with_capacity(4);
+        t.push("a");
+        t.push("b");
+        assert_eq!(t.drain().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: structural invariants of arbitrary regular topologies.
+
+use proptest::prelude::*;
+use topology::{CpuId, Level, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any regular topology partitions cleanly at every level and the
+    /// distance function is a consistent ultrametric-ish hierarchy.
+    #[test]
+    fn regular_topologies_are_consistent(nodes in 1u32..5, llcs in 1u32..3,
+                                         cores in 1u32..5, smt in 1u32..3) {
+        let t = Topology::regular("p", nodes, llcs, cores, smt);
+        let expect = (nodes * llcs * cores * smt) as usize;
+        prop_assert_eq!(t.nr_cpus(), expect);
+        prop_assert_eq!(t.nr_nodes(), nodes as usize);
+        prop_assert_eq!(t.nr_llcs(), (nodes * llcs) as usize);
+
+        for cpu in t.all_cpus() {
+            // Containment chain: smt ⊆ llc ⊆ node ⊆ machine.
+            let smt_set = t.span(cpu, Level::Smt);
+            let llc_set = t.span(cpu, Level::Llc);
+            let node_set = t.span(cpu, Level::Node);
+            prop_assert!(smt_set.iter().all(|c| llc_set.contains(c)));
+            prop_assert!(llc_set.iter().all(|c| node_set.contains(c)));
+            prop_assert_eq!(smt_set.len(), smt as usize);
+            prop_assert_eq!(llc_set.len(), (cores * smt) as usize);
+            // Reflexivity.
+            prop_assert_eq!(t.distance(cpu, cpu), 0);
+        }
+        // Symmetry of distances.
+        for a in t.all_cpus() {
+            for b in t.all_cpus() {
+                prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+    }
+
+    /// Every domain's groups partition its span, and spans grow with level.
+    #[test]
+    fn domains_partition(nodes in 1u32..4, cores in 1u32..5, smt in 1u32..3) {
+        let t = Topology::regular("p", nodes, 1, cores, smt);
+        for cpu in t.all_cpus() {
+            let doms = t.domains(cpu);
+            let mut prev_len = 1usize;
+            for d in &doms {
+                prop_assert!(d.span.contains(&cpu), "domain must contain its owner");
+                prop_assert!(d.span.len() > prev_len, "domains strictly grow");
+                prev_len = d.span.len();
+                let mut union: Vec<CpuId> = d.groups.concat();
+                union.sort();
+                let mut span = d.span.clone();
+                span.sort();
+                prop_assert_eq!(union, span, "groups partition the span");
+            }
+        }
+    }
+}

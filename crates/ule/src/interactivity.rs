@@ -1,0 +1,296 @@
+//! The interactivity metric (§2.2).
+//!
+//! ULE classifies threads by how much they voluntarily sleep versus run,
+//! over a sliding window of (by default) the last 5 seconds:
+//!
+//! ```text
+//! penalty(r, s) = m·r/s            if s > r        (0..=50)
+//!                 m + (m − m·s/r)  if r > s        (50..=100)
+//!                 m                if r == s > 0
+//! ```
+//!
+//! with `m = 50`. A thread whose `penalty + nice` is below the threshold
+//! (30) is interactive and gets absolute priority over batch threads.
+//!
+//! **Note on the paper's formula**: the paper prints the batch half as
+//! `m/(r/s) + m`, which would *decrease* from 100 to 50 as `r` grows; the
+//! FreeBSD 11.1 code (`sched_interact_score`) computes
+//! `m + (m − m·s/r)`, which *rises* toward 100 — and that is also what the
+//! paper's own Figure 2 shows (fibo's penalty rises to the maximum). We
+//! implement the code's semantics. See DESIGN.md.
+
+use simcore::{Dur, Time};
+
+use crate::params::{UleParams, INTERACT_HALF, INTERACT_MAX};
+
+/// Sleep/run history of one thread (`ts_runtime` / `ts_slptime`).
+#[derive(Debug, Clone, Default)]
+pub struct Interactivity {
+    /// Voluntary-run time in the window.
+    pub runtime: Dur,
+    /// Voluntary-sleep time in the window.
+    pub slptime: Dur,
+}
+
+impl Interactivity {
+    /// Fresh history (penalty 0: no run, no sleep).
+    pub fn new() -> Interactivity {
+        Interactivity::default()
+    }
+
+    /// The interactivity penalty in `[0, 100]` (`sched_interact_score`).
+    pub fn penalty(&self) -> u64 {
+        let r = self.runtime.as_nanos();
+        let s = self.slptime.as_nanos();
+        let m = INTERACT_HALF;
+        if r > s {
+            // max(1, r/m) keeps the division exact in the C code; the
+            // closed form is m + (m - m*s/r).
+            let div = (r / m).max(1);
+            (m + (m - (s / div).min(m))).min(INTERACT_MAX)
+        } else if s > r {
+            let div = (s / m).max(1);
+            (r / div).min(m)
+        } else if r > 0 {
+            m
+        } else {
+            0
+        }
+    }
+
+    /// Score used for classification: `penalty + nice`, floored at 0.
+    pub fn score(&self, nice: i32) -> i64 {
+        (self.penalty() as i64 + nice as i64).max(0)
+    }
+
+    /// `true` if the thread classifies as interactive.
+    pub fn is_interactive(&self, nice: i32, p: &UleParams) -> bool {
+        self.score(nice) < p.interact_thresh
+    }
+
+    /// Add CPU time to the history and re-clamp the window.
+    pub fn add_run(&mut self, d: Dur, p: &UleParams) {
+        self.runtime += d;
+        self.update(p);
+    }
+
+    /// Add voluntary sleep time to the history and re-clamp the window.
+    pub fn add_sleep(&mut self, d: Dur, p: &UleParams) {
+        self.slptime += d;
+        self.update(p);
+    }
+
+    /// `sched_interact_update`: keep the history within the 5 s window,
+    /// decaying it so recent behaviour dominates.
+    pub fn update(&mut self, p: &UleParams) {
+        let max = p.slp_run_max.as_nanos();
+        let sum = self.runtime.as_nanos() + self.slptime.as_nanos();
+        if sum < max {
+            return;
+        }
+        if sum > max * 2 {
+            // An unusual burst: clamp the dominant side to the window.
+            if self.runtime > self.slptime {
+                self.runtime = p.slp_run_max;
+                self.slptime = Dur::nanos(1);
+            } else {
+                self.slptime = p.slp_run_max;
+                self.runtime = Dur::nanos(1);
+            }
+            return;
+        }
+        if sum > max / 5 * 6 {
+            self.runtime = self.runtime / 2;
+            self.slptime = self.slptime / 2;
+            return;
+        }
+        self.runtime = self.runtime / 5 * 4;
+        self.slptime = self.slptime / 5 * 4;
+    }
+
+    /// `sched_interact_fork`: a child inherits the parent's history,
+    /// scaled down so it cannot dominate the child's own behaviour.
+    pub fn fork_from(parent: &Interactivity, p: &UleParams) -> Interactivity {
+        let mut child = parent.clone();
+        let sum = child.runtime.as_nanos() + child.slptime.as_nanos();
+        let clamp = p.slp_run_fork.as_nanos();
+        if sum > clamp {
+            let ratio = sum / clamp;
+            child.runtime = child.runtime / ratio;
+            child.slptime = child.slptime / ratio;
+        }
+        child
+    }
+}
+
+/// Decaying CPU-usage estimator for batch priorities (`ts_ticks` /
+/// `sched_pctcpu`): roughly the fraction of the last ~10 s spent on CPU.
+#[derive(Debug, Clone)]
+pub struct PctCpu {
+    last: Time,
+    /// Accumulated run time, decayed toward the window.
+    val: Dur,
+}
+
+impl PctCpu {
+    /// Start empty.
+    pub fn new(now: Time) -> PctCpu {
+        PctCpu {
+            last: now,
+            val: Dur::ZERO,
+        }
+    }
+
+    /// Account `d` of CPU time ending at `now`.
+    pub fn add_run(&mut self, now: Time, d: Dur, p: &UleParams) {
+        self.decay(now, p);
+        self.val = (self.val + d).min(p.pctcpu_window);
+    }
+
+    fn decay(&mut self, now: Time, p: &UleParams) {
+        let elapsed = now.saturating_since(self.last);
+        self.last = now;
+        // Halve per half-window elapsed (cheap geometric decay).
+        let half = (p.pctcpu_window / 2).max(Dur::millis(1));
+        let halvings = elapsed / half;
+        if halvings >= 63 {
+            self.val = Dur::ZERO;
+        } else {
+            self.val = Dur(self.val.as_nanos() >> halvings);
+        }
+    }
+
+    /// Usage fraction in `[0, 1024]` over the window.
+    pub fn frac(&mut self, now: Time, p: &UleParams) -> u64 {
+        self.decay(now, p);
+        (self.val.as_nanos() * 1024 / p.pctcpu_window.as_nanos().max(1)).min(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> UleParams {
+        UleParams::default()
+    }
+
+    #[test]
+    fn penalty_zero_for_pure_sleeper() {
+        let mut i = Interactivity::new();
+        i.add_sleep(Dur::secs(2), &p());
+        assert_eq!(i.penalty(), 0);
+        assert!(i.is_interactive(0, &p()));
+    }
+
+    #[test]
+    fn penalty_rises_to_max_for_pure_runner() {
+        let mut i = Interactivity::new();
+        i.add_run(Dur::secs(2), &p());
+        assert!(i.penalty() >= 99, "penalty {}", i.penalty());
+        assert!(!i.is_interactive(0, &p()));
+    }
+
+    #[test]
+    fn penalty_50_at_equal_run_sleep() {
+        let mut i = Interactivity::new();
+        i.runtime = Dur::secs(1);
+        i.slptime = Dur::secs(1);
+        assert_eq!(i.penalty(), 50);
+    }
+
+    #[test]
+    fn threshold_is_60_percent_sleep() {
+        // §2.2: score 30 "corresponds roughly to spending more than 60% of
+        // the time sleeping": r/s = 0.6/0.4? penalty = 50·r/s with s>r:
+        // penalty<30 ⟺ r/s < 0.6 ⟺ s > 62.5% of total.
+        let mut i = Interactivity::new();
+        i.runtime = Dur::millis(370);
+        i.slptime = Dur::millis(630);
+        assert!(i.is_interactive(0, &p()), "37/63 → {}", i.penalty());
+        let mut j = Interactivity::new();
+        j.runtime = Dur::millis(400);
+        j.slptime = Dur::millis(600);
+        assert!(!j.is_interactive(0, &p()), "40/60 → {}", j.penalty());
+    }
+
+    #[test]
+    fn negative_nice_makes_interactive_easier() {
+        let mut i = Interactivity::new();
+        i.runtime = Dur::millis(400);
+        i.slptime = Dur::millis(600);
+        assert!(!i.is_interactive(0, &p()));
+        assert!(i.is_interactive(-10, &p()));
+    }
+
+    #[test]
+    fn window_clamps_history() {
+        let mut i = Interactivity::new();
+        for _ in 0..100 {
+            i.add_run(Dur::millis(200), &p());
+        }
+        let sum = i.runtime + i.slptime;
+        assert!(sum <= p().slp_run_max, "window exceeded: {sum}");
+    }
+
+    #[test]
+    fn recent_behavior_dominates_after_decay() {
+        let mut i = Interactivity::new();
+        i.add_run(Dur::secs(4), &p()); // batch history
+        assert!(!i.is_interactive(0, &p()));
+        // Now it sleeps a lot; the decaying window lets it become
+        // interactive again.
+        for _ in 0..40 {
+            i.add_sleep(Dur::millis(500), &p());
+        }
+        assert!(
+            i.is_interactive(0, &p()),
+            "should recover: penalty {}",
+            i.penalty()
+        );
+    }
+
+    #[test]
+    fn fork_scales_history_down() {
+        let mut parent = Interactivity::new();
+        parent.runtime = Dur::secs(4);
+        parent.slptime = Dur::secs(4);
+        let child = Interactivity::fork_from(&parent, &p());
+        // FreeBSD's integer ratio (`sum / SCHED_SLP_RUN_FORK`) brings the
+        // sum below 2× the clamp (not below the clamp itself).
+        assert!(child.runtime + child.slptime < p().slp_run_fork * 2);
+        assert!(child.runtime < parent.runtime);
+        // Ratio (and thus the penalty) is preserved.
+        assert_eq!(child.penalty(), parent.penalty());
+    }
+
+    #[test]
+    fn penalty_bounds_hold() {
+        // Property-ish sweep: penalty is always within [0, 100].
+        for r in [0u64, 1, 10, 100, 5000] {
+            for s in [0u64, 1, 10, 100, 5000] {
+                let i = Interactivity {
+                    runtime: Dur::millis(r),
+                    slptime: Dur::millis(s),
+                };
+                assert!(i.penalty() <= 100, "r={r} s={s} → {}", i.penalty());
+            }
+        }
+    }
+
+    #[test]
+    fn pctcpu_tracks_usage() {
+        let prm = p();
+        let mut c = PctCpu::new(Time::ZERO);
+        let mut t = Time::ZERO;
+        // Run flat out for 10 s.
+        for _ in 0..100 {
+            t += Dur::millis(100);
+            c.add_run(t, Dur::millis(100), &prm);
+        }
+        assert!(c.frac(t, &prm) > 700);
+        // Go idle for 20 s: decays away.
+        let later = t + Dur::secs(20);
+        assert!(c.frac(later, &prm) < 200);
+    }
+}

@@ -1,0 +1,653 @@
+//! The FreeBSD ULE scheduler, as ported to Linux by the paper (§2.2, §3).
+//!
+//! * **Per-core scheduling** — two runqueues per CPU: *interactive* and
+//!   *batch*. Threads are classified by the interactivity penalty
+//!   ([`interactivity`]); interactive threads get **absolute** priority:
+//!   the batch queue is searched only when the interactive queue is empty,
+//!   so batch threads can starve for an unbounded amount of time (§5.1).
+//! * **Timeslices** — 10 stathz ticks (≈78 ms) divided by the CPU's load,
+//!   floored at one tick (≈7.87 ms). No wakeup preemption: only kernel
+//!   threads may preempt ("full preemption is disabled").
+//! * **Placement** (`sched_pickcpu`) — cache-affinity shortcut, then a
+//!   search for a CPU whose most-urgent waiting priority is lower than the
+//!   thread's (first within the affine topology level, then machine-wide),
+//!   finally the least-loaded CPU. The paper measures these scans costing
+//!   up to 13 % of CPU cycles on sysbench (§6.3) — the simulated kernel
+//!   charges per-CPU-scanned costs accordingly.
+//! * **Balancing** — the load of a CPU is simply its number of runnable
+//!   threads. Core 0 runs the periodic balancer every 0.5–1.5 s (random),
+//!   each invocation migrating at most one thread from each donor to each
+//!   receiver; idle CPUs steal at most one thread, walking up the topology.
+//!
+//! Port adaptations from §3 are faithfully reproduced: the running thread
+//! remains accounted in the runqueue (`nr_queued` includes it), the load
+//! balancer never migrates a running thread, and the balancing code uses
+//! the kernel's (CFS-style) locking discipline — in the simulator, the same
+//! single-threaded migration primitives CFS uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interactivity;
+pub mod params;
+pub mod runq;
+
+use std::collections::BTreeMap;
+
+use sched_api::{
+    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, TaskTable, Tid,
+    WakeKind,
+};
+use simcore::{Dur, SimRng, Time};
+use topology::{CpuId, Topology};
+
+use interactivity::{Interactivity, PctCpu};
+use params::{
+    UleParams, BATCH_PRIO_LEVELS, BATCH_PRIO_MAX, BATCH_PRIO_MIN, IDLE_PRIO, INT_PRIO_LEVELS,
+    RQ_NQS,
+};
+use runq::{BatchRunq, PrioRunq};
+
+/// Per-task ULE state (`td_sched`).
+struct UleTask {
+    interact: Interactivity,
+    pct: PctCpu,
+    /// Current ULE priority (0 = most urgent interactive).
+    prio: i32,
+    /// Priority recorded when the task entered a queue (for removal).
+    queued_prio: Option<i32>,
+    /// Whether it was queued on the interactive runqueue.
+    queued_interactive: bool,
+    /// Start of the current timeslice.
+    slice_start: Time,
+    /// Last time run-time was folded into the interactivity history.
+    last_acct: Time,
+}
+
+/// Per-CPU queues (`struct tdq`).
+struct Tdq {
+    interactive: PrioRunq,
+    batch: BatchRunq,
+    curr: Option<Tid>,
+    /// Runnable threads including the running one ("the load of a core is
+    /// simply defined as the number of threads currently runnable on it").
+    load: usize,
+    /// Multiset of priorities of queued + running threads (for
+    /// `tdq_lowpri`).
+    prios: BTreeMap<i32, u32>,
+    /// Next calendar-clock advance (stathz cadence).
+    next_stat: Time,
+}
+
+impl Tdq {
+    fn new() -> Tdq {
+        Tdq {
+            interactive: PrioRunq::new(INT_PRIO_LEVELS as usize),
+            batch: BatchRunq::new(),
+            curr: None,
+            load: 0,
+            prios: BTreeMap::new(),
+            next_stat: Time::ZERO,
+        }
+    }
+
+    fn add_prio(&mut self, p: i32) {
+        *self.prios.entry(p).or_insert(0) += 1;
+    }
+
+    fn remove_prio(&mut self, p: i32) {
+        match self.prios.get_mut(&p) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.prios.remove(&p);
+            }
+            None => debug_assert!(false, "priority {p} not tracked"),
+        }
+    }
+
+    /// The most urgent priority present (`tdq_lowpri`), or [`IDLE_PRIO`].
+    fn lowpri(&self) -> i32 {
+        self.prios.keys().next().copied().unwrap_or(IDLE_PRIO)
+    }
+}
+
+/// The ULE scheduling class.
+pub struct Ule {
+    topo: Topology,
+    p: UleParams,
+    tstates: Vec<Option<UleTask>>,
+    tdqs: Vec<Tdq>,
+    rng: SimRng,
+    /// Core 0's next periodic balance.
+    next_balance: Time,
+}
+
+impl Ule {
+    /// ULE with default parameters.
+    pub fn new(topo: &Topology) -> Ule {
+        Ule::with_params(topo, UleParams::default(), 0)
+    }
+
+    /// ULE with explicit parameters and a seed for the randomized
+    /// balancing period.
+    pub fn with_params(topo: &Topology, p: UleParams, seed: u64) -> Ule {
+        Ule {
+            topo: topo.clone(),
+            p,
+            tstates: Vec::new(),
+            tdqs: (0..topo.nr_cpus()).map(|_| Tdq::new()).collect(),
+            rng: SimRng::new(seed ^ 0xB41A_4CE0),
+            next_balance: Time::ZERO,
+        }
+    }
+
+    /// Access to the parameters (for ablation benches).
+    pub fn params(&self) -> &UleParams {
+        &self.p
+    }
+
+    fn ts(&self, tid: Tid) -> &UleTask {
+        self.tstates[tid.index()].as_ref().expect("ule state")
+    }
+
+    fn ts_mut(&mut self, tid: Tid) -> &mut UleTask {
+        self.tstates[tid.index()].as_mut().expect("ule state")
+    }
+
+    /// `sched_priority`: interactive threads interpolate their score into
+    /// the interactive range; batch threads derive priority from recent
+    /// CPU usage plus niceness.
+    fn compute_prio(&mut self, tasks: &TaskTable, tid: Tid, now: Time) -> i32 {
+        let nice = tasks.get(tid).nice;
+        let p = self.p.clone();
+        let ts = self.ts_mut(tid);
+        let score = ts.interact.score(nice);
+        if score < p.interact_thresh {
+            // Linear interpolation: penalty 0 → highest interactive
+            // priority, penalty at the threshold → lowest (§2.2).
+            ((score * INT_PRIO_LEVELS as i64) / p.interact_thresh.max(1)) as i32
+        } else {
+            // "The priority of batch threads depends on their runtime: the
+            // more a thread runs, the lower its priority. The niceness is
+            // added to get a linear effect on the priority."
+            let usage = ts.pct.frac(now, &p); // 0..=1024
+            let usage_span = (BATCH_PRIO_LEVELS - 40) as u64; // reserve nice span
+            let pri = BATCH_PRIO_MIN + (usage * usage_span / 1024) as i32 + (nice + 20);
+            pri.clamp(BATCH_PRIO_MIN, BATCH_PRIO_MAX)
+        }
+    }
+
+    fn is_interactive_prio(prio: i32) -> bool {
+        prio < BATCH_PRIO_MIN
+    }
+
+    /// Fold the running thread's recent CPU time into its histories.
+    fn account_curr(&mut self, cpu: CpuId, now: Time) {
+        let Some(tid) = self.tdqs[cpu.index()].curr else {
+            return;
+        };
+        let p = self.p.clone();
+        let ts = self.ts_mut(tid);
+        let delta = now.saturating_since(ts.last_acct);
+        if delta.is_zero() {
+            return;
+        }
+        ts.last_acct = now;
+        ts.interact.add_run(delta, &p);
+        ts.pct.add_run(now, delta, &p);
+    }
+
+    /// Put a runnable task into `cpu`'s appropriate queue.
+    fn runq_add(&mut self, cpu: CpuId, tid: Tid, prio: i32) {
+        let tdq = &mut self.tdqs[cpu.index()];
+        if Self::is_interactive_prio(prio) {
+            tdq.interactive.push(prio as usize, tid);
+        } else {
+            let scaled = ((prio - BATCH_PRIO_MIN) as usize * RQ_NQS) / BATCH_PRIO_LEVELS as usize;
+            tdq.batch.push(scaled.min(RQ_NQS - 1), tid);
+        }
+        tdq.add_prio(prio);
+        let ts = self.ts_mut(tid);
+        ts.queued_prio = Some(prio);
+        ts.queued_interactive = Self::is_interactive_prio(prio);
+    }
+
+    /// Remove a queued (non-running) task from `cpu`'s queues.
+    fn runq_remove(&mut self, cpu: CpuId, tid: Tid) {
+        let (prio, interactive) = {
+            let ts = self.ts(tid);
+            (
+                ts.queued_prio.expect("queued task has a recorded prio"),
+                ts.queued_interactive,
+            )
+        };
+        let tdq = &mut self.tdqs[cpu.index()];
+        let found = if interactive {
+            tdq.interactive.remove(prio as usize, tid)
+        } else {
+            tdq.batch.remove(tid)
+        };
+        debug_assert!(found, "{tid} not found in {cpu} runq");
+        tdq.remove_prio(prio);
+        self.ts_mut(tid).queued_prio = None;
+    }
+
+    /// Is the thread still cache-affine on `cpu`?
+    fn affine(&self, tasks: &TaskTable, tid: Tid, now: Time) -> bool {
+        let t = tasks.get(tid);
+        now.saturating_since(t.last_ran) <= self.p.affinity_window
+    }
+
+    /// Steal one transferable (queued, affinity-compatible) thread from
+    /// `victim` for `thief`. Interactive threads first, as FreeBSD's
+    /// `runq_steal` scans the realtime queue first.
+    fn steal_one(&mut self, tasks: &mut TaskTable, victim: CpuId, thief: CpuId, now: Time) -> bool {
+        let candidate = {
+            let tdq = &mut self.tdqs[victim.index()];
+            let from_int = tdq
+                .interactive
+                .iter()
+                .find(|&t| tasks.get(t).allowed_on(thief));
+            match from_int {
+                Some(t) => Some(t),
+                None => tdq.batch.iter().find(|&t| tasks.get(t).allowed_on(thief)),
+            }
+        };
+        let Some(tid) = candidate else {
+            return false;
+        };
+        self.runq_remove(victim, tid);
+        self.tdqs[victim.index()].load -= 1;
+        tasks.get_mut(tid).cpu = thief;
+        self.enqueue_task(tasks, thief, tid, EnqueueKind::Migrate, now);
+        true
+    }
+}
+
+impl Scheduler for Ule {
+    fn name(&self) -> &'static str {
+        "ule"
+    }
+
+    /// `sched_pickcpu` (§2.2): affinity shortcut; then look for a CPU where
+    /// the thread would be the most urgent (first within the affine level,
+    /// then machine-wide); finally the least-loaded CPU.
+    fn select_task_rq(
+        &mut self,
+        tasks: &TaskTable,
+        tid: Tid,
+        _kind: WakeKind,
+        _waking_cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> CpuId {
+        if self.topo.nr_cpus() == 1 {
+            return CpuId(0);
+        }
+        let task = tasks.get(tid);
+        let last = task.last_cpu;
+        let prio = self.ts(tid).prio;
+
+        // Shortcut: idle and cache-affine last CPU.
+        stats.cpus_scanned += 1;
+        let affine = self.affine(tasks, tid, now);
+        if task.allowed_on(last) && affine && self.tdqs[last.index()].load == 0 {
+            return last;
+        }
+
+        // Pass 1: within the affine level (the LLC of the last CPU if still
+        // affine, otherwise the whole machine).
+        let affine_span: Vec<CpuId> = if affine {
+            self.topo.llc_cpus(last).to_vec()
+        } else {
+            self.topo.all_cpus().collect()
+        };
+        let pick_lowpri = |ule: &Ule, span: &[CpuId], stats: &mut SelectStats| -> Option<CpuId> {
+            let mut best: Option<(usize, CpuId)> = None;
+            for &c in span {
+                stats.cpus_scanned += 1;
+                if !task.allowed_on(c) {
+                    continue;
+                }
+                if ule.tdqs[c.index()].lowpri() > prio {
+                    let load = ule.tdqs[c.index()].load;
+                    match best {
+                        None => best = Some((load, c)),
+                        Some((bl, bc)) if (load, c.0) < (bl, bc.0) => best = Some((load, c)),
+                        _ => {}
+                    }
+                }
+            }
+            best.map(|(_, c)| c)
+        };
+        if let Some(c) = pick_lowpri(self, &affine_span, stats) {
+            return c;
+        }
+        // Pass 2: the whole machine.
+        let all: Vec<CpuId> = self.topo.all_cpus().collect();
+        if let Some(c) = pick_lowpri(self, &all, stats) {
+            return c;
+        }
+        // Pass 3: "ULE simply picks the core with the lowest number of
+        // running threads on the machine".
+        let mut best: Option<(usize, CpuId)> = None;
+        for &c in &all {
+            stats.cpus_scanned += 1;
+            if !task.allowed_on(c) {
+                continue;
+            }
+            let load = self.tdqs[c.index()].load;
+            match best {
+                None => best = Some((load, c)),
+                Some((bl, bc)) if (load, c.0) < (bl, bc.0) => best = Some((load, c)),
+                _ => {}
+            }
+        }
+        best.expect("no allowed cpu").1
+    }
+
+    fn enqueue_task(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        tid: Tid,
+        kind: EnqueueKind,
+        now: Time,
+    ) -> Preempt {
+        if kind == EnqueueKind::Wakeup {
+            // `sched_wakeup`: credit the voluntary sleep and refresh the
+            // classification.
+            let slept = now.saturating_since(tasks.get(tid).sleep_start);
+            let p = self.p.clone();
+            self.ts_mut(tid).interact.add_sleep(slept, &p);
+        }
+        let prio = self.compute_prio(tasks, tid, now);
+        self.ts_mut(tid).prio = prio;
+        self.runq_add(cpu, tid, prio);
+        self.tdqs[cpu.index()].load += 1;
+        // "In ULE, full preemption is disabled, meaning that only kernel
+        // threads can preempt others" (§2.2/§5.3).
+        if tasks.get(tid).kernel_thread {
+            Preempt::Yes
+        } else {
+            Preempt::No
+        }
+    }
+
+    fn dequeue_task(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CpuId,
+        tid: Tid,
+        _kind: DequeueKind,
+        now: Time,
+    ) {
+        let is_curr = self.tdqs[cpu.index()].curr == Some(tid);
+        if is_curr {
+            self.account_curr(cpu, now);
+            let prio = self.ts(tid).prio;
+            let tdq = &mut self.tdqs[cpu.index()];
+            tdq.curr = None;
+            tdq.remove_prio(prio);
+        } else {
+            self.runq_remove(cpu, tid);
+        }
+        self.tdqs[cpu.index()].load -= 1;
+    }
+
+    fn yield_task(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) {
+        if let Some(curr) = self.tdqs[cpu.index()].curr {
+            self.put_prev_task(tasks, cpu, curr, now);
+        }
+    }
+
+    fn pick_next_task(&mut self, _tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Option<Tid> {
+        debug_assert!(self.tdqs[cpu.index()].curr.is_none());
+        // "ULE first searches in the interactive runqueue (...). If the
+        // interactive runqueue is empty, ULE searches in the batch
+        // runqueue instead."
+        let tdq = &mut self.tdqs[cpu.index()];
+        let tid = tdq.interactive.pop().or_else(|| tdq.batch.pop())?;
+        tdq.curr = Some(tid);
+        let ts = self.ts_mut(tid);
+        ts.queued_prio = None;
+        ts.slice_start = now;
+        ts.last_acct = now;
+        // Note: the priority stays tracked in `prios` while running (the
+        // port keeps the current thread in the runqueue, §3).
+        Some(tid)
+    }
+
+    fn put_prev_task(&mut self, tasks: &mut TaskTable, cpu: CpuId, tid: Tid, now: Time) {
+        debug_assert_eq!(self.tdqs[cpu.index()].curr, Some(tid));
+        self.account_curr(cpu, now);
+        let old_prio = self.ts(tid).prio;
+        let new_prio = self.compute_prio(tasks, tid, now);
+        self.ts_mut(tid).prio = new_prio;
+        let tdq = &mut self.tdqs[cpu.index()];
+        tdq.curr = None;
+        tdq.remove_prio(old_prio);
+        // Re-added at the tail of its FIFO, preserving the FIFO property.
+        self.runq_add(cpu, tid, new_prio);
+    }
+
+    fn task_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, curr: Tid, now: Time) -> Preempt {
+        self.account_curr(cpu, now);
+        // Advance the batch calendar at stathz cadence (`sched_clock`).
+        let stat = self.p.stat_tick;
+        {
+            let tdq = &mut self.tdqs[cpu.index()];
+            if tdq.next_stat == Time::ZERO {
+                tdq.next_stat = now + stat;
+            }
+            while now >= tdq.next_stat {
+                tdq.batch.clock();
+                tdq.next_stat += stat;
+            }
+        }
+        // Refresh the running thread's priority/classification.
+        let old_prio = self.ts(curr).prio;
+        let new_prio = self.compute_prio(tasks, curr, now);
+        if new_prio != old_prio {
+            self.ts_mut(curr).prio = new_prio;
+            let tdq = &mut self.tdqs[cpu.index()];
+            tdq.remove_prio(old_prio);
+            tdq.add_prio(new_prio);
+        }
+        // Timeslice check: the slice shrinks with the load. The counter
+        // resets on expiry even when the thread is alone (`td_slice = 0`),
+        // so a lone runner does not "owe" a huge overrun the moment a
+        // second thread appears.
+        let load = self.tdqs[cpu.index()].load;
+        let slice = self.p.slice(load);
+        let ts = self.ts_mut(curr);
+        if now.saturating_since(ts.slice_start) >= slice {
+            ts.slice_start = now;
+            if load > 1 {
+                return Preempt::Yes;
+            }
+        }
+        Preempt::No
+    }
+
+    fn task_fork(&mut self, tasks: &TaskTable, child: Tid, parent: Option<Tid>, now: Time) {
+        if child.index() >= self.tstates.len() {
+            self.tstates.resize_with(child.index() + 1, || None);
+        }
+        // "When a thread is created, it inherits the runtime and sleeptime
+        // (and thus the interactivity) of its parent."
+        let p = self.p.clone();
+        let interact = match parent {
+            Some(par) if self.tstates.get(par.index()).is_some_and(|s| s.is_some()) => {
+                Interactivity::fork_from(&self.ts(par).interact, &p)
+            }
+            _ => match tasks.get(child).inherit_history {
+                Some((run, sleep)) => {
+                    let synthetic = Interactivity {
+                        runtime: run,
+                        slptime: sleep,
+                    };
+                    Interactivity::fork_from(&synthetic, &p)
+                }
+                None => Interactivity::new(),
+            },
+        };
+        self.tstates[child.index()] = Some(UleTask {
+            interact,
+            pct: PctCpu::new(now),
+            prio: 0,
+            queued_prio: None,
+            queued_interactive: false,
+            slice_start: now,
+            last_acct: now,
+        });
+        let prio = self.compute_prio(tasks, child, now);
+        self.ts_mut(child).prio = prio;
+    }
+
+    fn task_dead(&mut self, tasks: &TaskTable, tid: Tid, _now: Time) {
+        // "When a thread dies, its runtime in the last 5 seconds is
+        // returned to its parent."
+        let runtime = self.ts(tid).interact.runtime;
+        if let Some(par) = tasks.get(tid).parent {
+            if par.index() < self.tstates.len() {
+                if let Some(ps) = self.tstates[par.index()].as_mut() {
+                    let p = self.p.clone();
+                    ps.interact.add_run(runtime, &p);
+                }
+            }
+        }
+        self.tstates[tid.index()] = None;
+    }
+
+    /// Core 0's periodic balancer (`sched_balance`, with the paper's fix
+    /// for the FreeBSD bug \[1\] so it actually runs periodically).
+    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId> {
+        // An idle CPU's idle thread keeps retrying `tdq_idled` when the
+        // timer interrupt wakes it, so work that becomes stealable later
+        // (e.g. unpinned threads) is still picked up.
+        if self.tdqs[cpu.index()].load == 0 {
+            let mut stats = SelectStats::default();
+            if self.idle_balance(tasks, cpu, now, &mut stats) {
+                return vec![cpu];
+            }
+        }
+        if !self.p.periodic_balance || cpu != CpuId(0) {
+            return Vec::new();
+        }
+        if now < self.next_balance {
+            return Vec::new();
+        }
+        let span = self
+            .rng
+            .gen_range(self.p.balance_min.as_nanos(), self.p.balance_max.as_nanos());
+        self.next_balance = now + Dur(span);
+
+        // "a thread from the most loaded core (donor) is migrated to the
+        // less loaded core (receiver). A core can only be a donor or a
+        // receiver once, and the load balancer iterates until no donor or
+        // receiver is found."
+        let n = self.topo.nr_cpus();
+        let mut used = vec![false; n];
+        let mut targets = Vec::new();
+        loop {
+            let mut donor: Option<(usize, CpuId)> = None;
+            let mut receiver: Option<(usize, CpuId)> = None;
+            for c in self.topo.all_cpus() {
+                if used[c.index()] {
+                    continue;
+                }
+                let load = self.tdqs[c.index()].load;
+                match donor {
+                    None => donor = Some((load, c)),
+                    Some((dl, dc)) if load > dl || (load == dl && c.0 < dc.0) => {
+                        donor = Some((load, c))
+                    }
+                    _ => {}
+                }
+                match receiver {
+                    None => receiver = Some((load, c)),
+                    Some((rl, rc)) if load < rl || (load == rl && c.0 > rc.0) => {
+                        receiver = Some((load, c))
+                    }
+                    _ => {}
+                }
+            }
+            let (Some((dload, dc)), Some((rload, rc))) = (donor, receiver) else {
+                break;
+            };
+            if dc == rc || dload <= rload + 1 {
+                break; // balanced enough; nothing to gain
+            }
+            used[dc.index()] = true;
+            used[rc.index()] = true;
+            if self.steal_one(tasks, dc, rc, now) {
+                targets.push(rc);
+            }
+        }
+        targets
+    }
+
+    /// Idle stealing (`tdq_idled`): try the most loaded CPU sharing a
+    /// cache, then walk up the topology; steal at most one thread.
+    fn idle_balance(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        stats: &mut SelectStats,
+    ) -> bool {
+        let spans: [Vec<CpuId>; 2] = [
+            self.topo.llc_cpus(cpu).to_vec(),
+            self.topo.all_cpus().collect(),
+        ];
+        for span in &spans {
+            let mut best: Option<(usize, CpuId)> = None;
+            for &c in span {
+                stats.cpus_scanned += 1;
+                if c == cpu {
+                    continue;
+                }
+                let load = self.tdqs[c.index()].load;
+                if load >= self.p.steal_thresh {
+                    match best {
+                        None => best = Some((load, c)),
+                        Some((bl, _)) if load > bl => best = Some((load, c)),
+                        _ => {}
+                    }
+                }
+            }
+            if let Some((_, victim)) = best {
+                if self.steal_one(tasks, victim, cpu, now) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn nr_queued(&self, cpu: CpuId) -> usize {
+        self.tdqs[cpu.index()].load
+    }
+
+    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
+        let tdq = &self.tdqs[cpu.index()];
+        tdq.interactive.iter().chain(tdq.batch.iter()).collect()
+    }
+
+    fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot {
+        let Some(ts) = self.tstates.get(tid.index()).and_then(|s| s.as_ref()) else {
+            return TaskSnapshot::default();
+        };
+        let nice = tasks.get(tid).nice;
+        let load = self.tdqs[tasks.get(tid).cpu.index()].load;
+        TaskSnapshot {
+            ule_penalty: Some(ts.interact.penalty() as u32),
+            ule_score: Some(ts.interact.score(nice) as i32),
+            interactive: Some(ts.interact.is_interactive(nice, &self.p)),
+            prio: Some(ts.prio),
+            timeslice_ns: Some(self.p.slice(load).as_nanos()),
+            ..Default::default()
+        }
+    }
+}

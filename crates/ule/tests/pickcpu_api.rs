@@ -1,0 +1,171 @@
+//! Direct tests of ULE's `sched_pickcpu` through the scheduling-class API.
+
+use sched_api::{
+    EnqueueKind, GroupId, Scheduler, SelectStats, Task, TaskState, TaskTable, Tid, WakeKind,
+};
+use simcore::{Dur, Time};
+use topology::{CpuId, Topology};
+use ule::Ule;
+
+fn mk_task(tasks: &mut TaskTable, ule: &mut Ule, name: &str, now: Time) -> Tid {
+    let tid = tasks.insert_with(|t| Task::new(t, name, GroupId(1)));
+    ule.task_fork(tasks, tid, None, now);
+    tid
+}
+
+fn enqueue_on(tasks: &mut TaskTable, ule: &mut Ule, tid: Tid, cpu: CpuId, now: Time) {
+    let t = tasks.get_mut(tid);
+    t.cpu = cpu;
+    t.state = TaskState::Runnable;
+    t.on_rq = true;
+    ule.enqueue_task(tasks, cpu, tid, EnqueueKind::New, now);
+}
+
+#[test]
+fn new_tasks_go_to_least_loaded_cpu() {
+    let topo = Topology::flat(4);
+    let mut ule = Ule::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    // Pre-load cpu0 with two tasks and cpu1 with one.
+    for (cpu, n) in [(CpuId(0), 2), (CpuId(1), 1)] {
+        for i in 0..n {
+            let t = mk_task(&mut tasks, &mut ule, &format!("bg{cpu}-{i}"), now);
+            enqueue_on(&mut tasks, &mut ule, t, cpu, now);
+        }
+    }
+    let fresh = mk_task(&mut tasks, &mut ule, "fresh", now);
+    let mut stats = SelectStats::default();
+    let target = ule.select_task_rq(&tasks, fresh, WakeKind::New, CpuId(0), now, &mut stats);
+    assert!(
+        target == CpuId(2) || target == CpuId(3),
+        "must pick an empty CPU, got {target}"
+    );
+    assert!(stats.cpus_scanned > 0);
+}
+
+#[test]
+fn affine_idle_shortcut_returns_last_cpu() {
+    let topo = Topology::flat(4);
+    let mut ule = Ule::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let t = mk_task(&mut tasks, &mut ule, "t", now);
+    {
+        let tt = tasks.get_mut(t);
+        tt.last_cpu = CpuId(2);
+        tt.last_ran = now; // ran just now → cache affine
+        tt.state = TaskState::Sleeping;
+    }
+    let mut stats = SelectStats::default();
+    let target = ule.select_task_rq(
+        &tasks,
+        t,
+        WakeKind::Wakeup { waker: None },
+        CpuId(0),
+        now + Dur::millis(5),
+        &mut stats,
+    );
+    assert_eq!(target, CpuId(2), "idle + affine → last CPU");
+    assert_eq!(stats.cpus_scanned, 1, "the shortcut scans one CPU");
+}
+
+#[test]
+fn affinity_expires_with_time() {
+    let topo = Topology::flat(2);
+    let mut ule = Ule::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    let t = mk_task(&mut tasks, &mut ule, "t", now);
+    {
+        let tt = tasks.get_mut(t);
+        tt.last_cpu = CpuId(1);
+        tt.last_ran = now;
+        tt.state = TaskState::Sleeping;
+    }
+    // Long after the affinity window, the full search runs (more scans).
+    let much_later = now + Dur::secs(5);
+    let mut stats = SelectStats::default();
+    let _ = ule.select_task_rq(
+        &tasks,
+        t,
+        WakeKind::Wakeup { waker: None },
+        CpuId(0),
+        much_later,
+        &mut stats,
+    );
+    assert!(
+        stats.cpus_scanned >= 2,
+        "stale affinity → wider scan, got {}",
+        stats.cpus_scanned
+    );
+}
+
+#[test]
+fn worst_case_scans_the_machine_multiple_times() {
+    // The §6.3 sysbench pathology: every CPU already runs something more
+    // urgent, so all passes fail through to the final least-loaded scan.
+    let topo = Topology::opteron_6172();
+    let mut ule = Ule::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    // Put an interactive-classified task on every CPU.
+    for cpu in topo.all_cpus() {
+        let t = tasks.insert_with(|t| Task::new(t, format!("srv{cpu}"), GroupId(1)));
+        // Give it a sleep-heavy history → interactive, very urgent.
+        tasks.get_mut(t).inherit_history = Some((Dur::ZERO, Dur::secs(2)));
+        ule.task_fork(&tasks, t, None, now);
+        enqueue_on(&mut tasks, &mut ule, t, cpu, now);
+    }
+    // A woken interactive thread with no affinity: passes 1 and 2 find no
+    // CPU where it would be most urgent, pass 3 scans again.
+    let woken = tasks.insert_with(|t| Task::new(t, "woken", GroupId(1)));
+    tasks.get_mut(woken).inherit_history = Some((Dur::ZERO, Dur::secs(2)));
+    ule.task_fork(&tasks, woken, None, now);
+    {
+        let tt = tasks.get_mut(woken);
+        tt.state = TaskState::Sleeping;
+        tt.last_ran = now;
+        tt.sleep_start = now;
+    }
+    let later = now + Dur::secs(1); // affinity expired
+    let mut stats = SelectStats::default();
+    let _ = ule.select_task_rq(
+        &tasks,
+        woken,
+        WakeKind::Wakeup { waker: None },
+        CpuId(0),
+        later,
+        &mut stats,
+    );
+    assert!(
+        stats.cpus_scanned >= 2 * topo.nr_cpus() as u32,
+        "pathological wakeups scan the machine repeatedly: {}",
+        stats.cpus_scanned
+    );
+}
+
+#[test]
+fn interactive_queue_is_served_before_batch() {
+    let topo = Topology::single_core();
+    let mut ule = Ule::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    // A batch task (CPU-heavy history) and an interactive one.
+    let batch = tasks.insert_with(|t| Task::new(t, "batch", GroupId(1)));
+    tasks.get_mut(batch).inherit_history = Some((Dur::secs(3), Dur::millis(1)));
+    ule.task_fork(&tasks, batch, None, now);
+    enqueue_on(&mut tasks, &mut ule, batch, CpuId(0), now);
+
+    let inter = tasks.insert_with(|t| Task::new(t, "inter", GroupId(1)));
+    tasks.get_mut(inter).inherit_history = Some((Dur::ZERO, Dur::secs(3)));
+    ule.task_fork(&tasks, inter, None, now);
+    enqueue_on(&mut tasks, &mut ule, inter, CpuId(0), now);
+
+    let picked = ule.pick_next_task(&mut tasks, CpuId(0), now).unwrap();
+    assert_eq!(picked, inter, "interactive runqueue has absolute priority");
+    let snap_b = ule.snapshot(&tasks, batch);
+    let snap_i = ule.snapshot(&tasks, inter);
+    assert_eq!(snap_b.interactive, Some(false));
+    assert_eq!(snap_i.interactive, Some(true));
+}

@@ -1,0 +1,96 @@
+//! Property tests of ULE's interactivity machinery and runqueues.
+
+use proptest::prelude::*;
+use sched_api::Tid;
+use simcore::Dur;
+use ule::interactivity::Interactivity;
+use ule::params::UleParams;
+use ule::runq::{BatchRunq, PrioRunq};
+
+proptest! {
+    /// The penalty is always within [0, 100] and the history window stays
+    /// bounded, for any interleaving of run/sleep updates.
+    #[test]
+    fn penalty_bounds_and_window(ops in prop::collection::vec((any::<bool>(), 1u64..500), 1..200)) {
+        let p = UleParams::default();
+        let mut i = Interactivity::new();
+        for (is_run, ms) in ops {
+            if is_run {
+                i.add_run(Dur::millis(ms), &p);
+            } else {
+                i.add_sleep(Dur::millis(ms), &p);
+            }
+            prop_assert!(i.penalty() <= 100);
+            // The decaying window keeps the history bounded near its max.
+            prop_assert!(i.runtime + i.slptime <= p.slp_run_max * 2 + Dur::millis(500));
+        }
+    }
+
+    /// More sleeping never *raises* the penalty (monotonicity in s).
+    #[test]
+    fn penalty_monotone_in_sleep(r in 1u64..5000, s in 1u64..5000, extra in 1u64..1000) {
+        let base = Interactivity { runtime: Dur::millis(r), slptime: Dur::millis(s) };
+        let more = Interactivity { runtime: Dur::millis(r), slptime: Dur::millis(s + extra) };
+        prop_assert!(more.penalty() <= base.penalty(),
+            "sleep must not increase the penalty: {} vs {}", more.penalty(), base.penalty());
+    }
+
+    /// Fork preserves the classification direction: a child of an
+    /// interactive parent starts interactive.
+    #[test]
+    fn fork_preserves_classification(r in 0u64..4000, s in 0u64..4000) {
+        let p = UleParams::default();
+        let parent = Interactivity { runtime: Dur::millis(r), slptime: Dur::millis(s) };
+        let child = Interactivity::fork_from(&parent, &p);
+        prop_assert_eq!(child.penalty(), parent.penalty());
+    }
+
+    /// The interactive priority runqueue is conservation-safe: everything
+    /// pushed pops exactly once, highest priority first.
+    #[test]
+    fn prio_runq_conservation(items in prop::collection::vec(0usize..48, 1..200)) {
+        let mut q = PrioRunq::new(48);
+        for (i, &pri) in items.iter().enumerate() {
+            q.push(pri, Tid(i as u32));
+        }
+        prop_assert_eq!(q.len(), items.len());
+        let mut last_pri = 0usize;
+        let mut popped = 0;
+        while let Some(t) = q.pop() {
+            let pri = items[t.0 as usize];
+            prop_assert!(pri >= last_pri, "priority order violated");
+            last_pri = pri;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, items.len());
+    }
+
+    /// The batch calendar never loses or duplicates tasks under arbitrary
+    /// push/pop/clock interleavings.
+    #[test]
+    fn batch_runq_conservation(ops in prop::collection::vec((0u8..3, 0usize..64), 1..300)) {
+        let mut q = BatchRunq::new();
+        let mut next = 0u32;
+        let mut inside = std::collections::HashSet::new();
+        for (op, pri) in ops {
+            match op {
+                0 => {
+                    q.push(pri, Tid(next));
+                    inside.insert(next);
+                    next += 1;
+                }
+                1 => {
+                    if let Some(t) = q.pop() {
+                        prop_assert!(inside.remove(&t.0), "popped unknown task");
+                    }
+                }
+                _ => q.clock(),
+            }
+            prop_assert_eq!(q.len(), inside.len());
+        }
+        while let Some(t) = q.pop() {
+            prop_assert!(inside.remove(&t.0));
+        }
+        prop_assert!(inside.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! The apache benchmark: httpd (100 server threads) driven by `ab`, a
+//! single-threaded load injector (§5.3).
+//!
+//! "ab starts by sending 100 requests to the httpd server, and then waits
+//! for the server to answer. When ab is woken up, it checks which requests
+//! have been processed and sends new requests to the server. Since ab is
+//! single-threaded, all requests are sent sequentially. In ULE, ab is able
+//! to send as many new requests as it has received responses. In CFS,
+//! every request sent by ab wakes up a httpd thread, which preempts ab."
+
+use kernel::{Action, AppSpec, Behavior, Ctx, Kernel, QueueId, ThreadSpec};
+use simcore::{Dur, Time};
+
+use crate::P;
+
+/// Apache sizing.
+#[derive(Debug, Clone)]
+pub struct ApacheCfg {
+    /// httpd worker threads (100 in the paper).
+    pub server_threads: usize,
+    /// Total requests ab issues.
+    pub requests: u64,
+    /// Outstanding-request window (ab's concurrency, 100 in the paper).
+    pub window: u64,
+    /// Service CPU per request.
+    pub service: Dur,
+    /// ab CPU per response processed.
+    pub ab_cpu: Dur,
+}
+
+impl Default for ApacheCfg {
+    fn default() -> Self {
+        ApacheCfg {
+            server_threads: 100,
+            requests: 20_000,
+            window: 100,
+            service: Dur::micros(100),
+            ab_cpu: Dur::micros(30),
+        }
+    }
+}
+
+const STOP: u64 = u64::MAX;
+
+/// One httpd worker: blocks on the request queue, serves, responds.
+struct Httpd {
+    req: QueueId,
+    resp: QueueId,
+    service: Dur,
+    state: u8, // 0 = want request, 1 = got one (serve), 2 = respond
+    current: u64,
+}
+
+impl Behavior for Httpd {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Action::QueueGet(self.req)
+            }
+            1 => {
+                let v = ctx.value.expect("request token");
+                if v == STOP {
+                    return Action::Exit;
+                }
+                self.current = v;
+                self.state = 2;
+                Action::Run(self.service)
+            }
+            _ => {
+                self.state = 0;
+                Action::QueuePut(self.resp, self.current)
+            }
+        }
+    }
+}
+
+/// The ab load injector.
+struct Ab {
+    req: QueueId,
+    resp: QueueId,
+    cfg: ApacheCfg,
+    sent: u64,
+    received: u64,
+    stops_sent: usize,
+    state: u8, // 0 seed window, 1 wait response, 2 process, 3 send next, 4 stop
+    issue_times: std::collections::VecDeque<Time>,
+    sent_at: Vec<Time>,
+}
+
+impl Behavior for Ab {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        loop {
+            match self.state {
+                // Seed the initial window of 100 requests.
+                0 => {
+                    if self.sent < self.cfg.window.min(self.cfg.requests) {
+                        self.sent += 1;
+                        self.sent_at.push(ctx.now);
+                        return Action::QueuePut(self.req, self.sent - 1);
+                    }
+                    self.state = 1;
+                }
+                // Wait for a response.
+                1 => {
+                    if self.received == self.cfg.requests {
+                        self.state = 4;
+                        continue;
+                    }
+                    self.state = 2;
+                    return Action::QueueGet(self.resp);
+                }
+                // Process the response: account latency + burn parse CPU.
+                2 => {
+                    let id = ctx.value.expect("response token") as usize;
+                    self.received += 1;
+                    self.issue_times.push_back(self.sent_at[id]);
+                    self.state = 3;
+                    let lat = ctx.now.saturating_since(self.sent_at[id]);
+                    return Action::RecordLatency(lat);
+                }
+                3 => {
+                    self.state = 5;
+                    return Action::CountOps(1);
+                }
+                5 => {
+                    self.state = 6;
+                    return Action::Run(self.cfg.ab_cpu);
+                }
+                // Send a replacement request, then wait again.
+                6 => {
+                    self.state = 1;
+                    if self.sent < self.cfg.requests {
+                        self.sent += 1;
+                        self.sent_at.push(ctx.now);
+                        return Action::QueuePut(self.req, self.sent - 1);
+                    }
+                }
+                // Shut the server down.
+                4 => {
+                    if self.stops_sent < self.cfg.server_threads {
+                        self.stops_sent += 1;
+                        return Action::QueuePut(self.req, STOP);
+                    }
+                    return Action::Exit;
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Build the apache benchmark (httpd + ab in one reported application, as
+/// in the paper's figures).
+pub fn apache_cfg(k: &mut Kernel, cfg: ApacheCfg) -> AppSpec {
+    let req = k.new_queue(cfg.requests as usize + cfg.server_threads + 1);
+    let resp = k.new_queue(cfg.requests as usize + 1);
+    let mut threads: Vec<ThreadSpec> = (0..cfg.server_threads)
+        .map(|i| {
+            ThreadSpec::new(
+                format!("httpd-{i}"),
+                Box::new(Httpd {
+                    req,
+                    resp,
+                    service: cfg.service,
+                    state: 0,
+                    current: 0,
+                }) as Box<dyn Behavior>,
+            )
+            // Server daemons mostly sleep waiting for requests.
+            .with_history(Dur::ZERO, Dur::secs(2))
+        })
+        .collect();
+    let n = cfg.requests as usize;
+    threads.push(
+        ThreadSpec::new(
+            "ab",
+            Box::new(Ab {
+                req,
+                resp,
+                cfg,
+                sent: 0,
+                received: 0,
+                stops_sent: 0,
+                state: 0,
+                issue_times: std::collections::VecDeque::new(),
+                sent_at: Vec::with_capacity(n),
+            }) as Box<dyn Behavior>,
+        )
+        .with_history(Dur::ZERO, Dur::secs(2)),
+    );
+    AppSpec::new("apache", threads)
+}
+
+/// Suite instance.
+pub fn apache(k: &mut Kernel, p: &P) -> AppSpec {
+    apache_cfg(
+        k,
+        ApacheCfg {
+            requests: p.count(20_000),
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn apache_serves_all_requests() {
+        let topo = Topology::flat(2);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let spec = apache_cfg(
+            &mut k,
+            ApacheCfg {
+                server_threads: 8,
+                requests: 300,
+                window: 20,
+                ..Default::default()
+            },
+        );
+        let app = k.queue_app(Time::ZERO, spec);
+        assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(60)));
+        let a = k.app(app);
+        assert_eq!(a.ops, 300);
+        assert_eq!(a.lat_count, 300);
+        assert!(a.avg_latency().unwrap() > Dur::ZERO);
+    }
+}

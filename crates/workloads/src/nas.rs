@@ -1,0 +1,321 @@
+//! The NAS parallel benchmarks (§4.2, §6.3): iterative barrier-synchronised
+//! HPC kernels, one thread per core.
+//!
+//! "MG spawns as many threads as there are cores in the machine, and all
+//! threads perform the same computations. When a thread has finished its
+//! computation, it waits on a spin-barrier for 100ms and then sleeps if
+//! some threads are still computing."
+
+use kernel::{Action, AppSpec, BarrierId, Behavior, Ctx, Kernel, ThreadSpec};
+use simcore::{Dur, Time};
+
+use crate::P;
+
+/// How threads wait at the end of an iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BarrierKind {
+    /// Block (sleep) immediately.
+    Block,
+    /// Spin for the given budget, then sleep (MG-style).
+    Spin(Dur),
+}
+
+/// Parameters of one NAS kernel model.
+#[derive(Debug, Clone)]
+pub struct NasCfg {
+    /// Benchmark name (BT, CG, ...).
+    pub name: &'static str,
+    /// Iterations (each counted as one operation for the ops/s metric).
+    pub iters: u64,
+    /// Compute phase per iteration per thread.
+    pub phase: Dur,
+    /// Per-thread phase jitter in percent (load imbalance).
+    pub jitter_pct: u64,
+    /// Barrier style.
+    pub barrier: BarrierKind,
+    /// Extra I/O sleep per iteration (DC writes its data cube to disk).
+    pub io: Option<Dur>,
+    /// Per-thread, per-iteration probability (per mille) of a straggler
+    /// phase (serial sections / cache conflicts), and its length factor.
+    /// A straggler pushes the other threads past the spin budget, forcing
+    /// a sleep + wake-placement round — the moments where CFS sometimes
+    /// doubles threads up (§6.3).
+    pub straggle_permille: u64,
+    /// Length multiplier (×10) of a straggler phase (22 = 2.2×).
+    pub straggle_factor_x10: u64,
+}
+
+struct NasWorker {
+    cfg: NasCfg,
+    barrier: BarrierId,
+    iter: u64,
+    state: u8, // 0 compute, 1 barrier, 2 io, 3 count
+}
+
+impl Behavior for NasWorker {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.state {
+            0 => {
+                if self.iter == self.cfg.iters {
+                    return Action::Exit;
+                }
+                self.state = 1;
+                let base = self.cfg.phase.as_nanos();
+                let j = base * self.cfg.jitter_pct / 100;
+                let mut d = if j > 0 {
+                    ctx.rng.gen_range(base - j, base + j)
+                } else {
+                    base
+                };
+                if self.cfg.straggle_permille > 0
+                    && ctx.rng.gen_below(1000) < self.cfg.straggle_permille
+                {
+                    d = d * self.cfg.straggle_factor_x10 / 10;
+                }
+                Action::Run(Dur(d))
+            }
+            1 => {
+                self.state = 2;
+                match self.cfg.barrier {
+                    BarrierKind::Block => Action::BarrierWait(self.barrier),
+                    BarrierKind::Spin(budget) => Action::BarrierWaitSpin(self.barrier, budget),
+                }
+            }
+            2 => {
+                self.state = 3;
+                match self.cfg.io {
+                    Some(io) => Action::Sleep(io),
+                    None => {
+                        self.state = 0;
+                        self.iter += 1;
+                        Action::CountOps(1)
+                    }
+                }
+            }
+            _ => {
+                self.state = 0;
+                self.iter += 1;
+                Action::CountOps(1)
+            }
+        }
+    }
+}
+
+/// Build one NAS kernel with `ncores` threads ("as many threads as there
+/// are cores").
+pub fn nas_app(k: &mut Kernel, cfg: NasCfg, threads: usize) -> AppSpec {
+    let barrier = k.new_barrier(threads);
+    AppSpec::new(
+        cfg.name,
+        (0..threads)
+            .map(|i| {
+                ThreadSpec::new(
+                    format!("{}-{i}", cfg.name),
+                    Box::new(NasWorker {
+                        cfg: cfg.clone(),
+                        barrier,
+                        iter: 0,
+                        state: 0,
+                    }) as Box<dyn Behavior>,
+                )
+            })
+            .collect(),
+    )
+}
+
+macro_rules! nas_builder {
+    ($fn_name:ident, $name:literal, $iters:expr, $phase:expr, $jit:expr, $bar:expr, $io:expr, $strag:expr) => {
+        /// Suite builder for the homonymous NAS kernel.
+        pub fn $fn_name(k: &mut Kernel, p: &P) -> AppSpec {
+            nas_app(
+                k,
+                NasCfg {
+                    name: $name,
+                    iters: p.count($iters),
+                    phase: $phase,
+                    jitter_pct: $jit,
+                    barrier: $bar,
+                    io: $io,
+                    straggle_permille: $strag,
+                    straggle_factor_x10: 22,
+                },
+                p.ncores,
+            )
+        }
+    };
+}
+
+nas_builder!(
+    bt,
+    "BT",
+    60,
+    Dur::millis(40),
+    5,
+    BarrierKind::Block,
+    None,
+    0
+);
+nas_builder!(
+    cg,
+    "CG",
+    75,
+    Dur::millis(15),
+    10,
+    BarrierKind::Block,
+    None,
+    0
+);
+nas_builder!(
+    dc,
+    "DC",
+    30,
+    Dur::millis(20),
+    10,
+    BarrierKind::Block,
+    Some(Dur::millis(10)),
+    0
+);
+nas_builder!(ep, "EP", 4, Dur::secs(2), 2, BarrierKind::Block, None, 0);
+nas_builder!(
+    ft,
+    "FT",
+    40,
+    Dur::millis(110),
+    6,
+    BarrierKind::Spin(Dur::millis(100)),
+    None,
+    6
+);
+nas_builder!(
+    is,
+    "IS",
+    150,
+    Dur::millis(4),
+    15,
+    BarrierKind::Block,
+    None,
+    0
+);
+nas_builder!(
+    lu,
+    "LU",
+    100,
+    Dur::millis(20),
+    8,
+    BarrierKind::Block,
+    None,
+    0
+);
+nas_builder!(
+    mg,
+    "MG",
+    80,
+    Dur::millis(120),
+    5,
+    BarrierKind::Spin(Dur::millis(100)),
+    None,
+    8
+);
+nas_builder!(
+    sp,
+    "SP",
+    80,
+    Dur::millis(25),
+    8,
+    BarrierKind::Block,
+    None,
+    0
+);
+nas_builder!(
+    ua,
+    "UA",
+    60,
+    Dur::millis(115),
+    8,
+    BarrierKind::Spin(Dur::millis(100)),
+    None,
+    5
+);
+
+/// Builder function type shared by the suite registries.
+pub type Builder = fn(&mut Kernel, &P) -> AppSpec;
+
+/// All NAS builders in the paper's figure order.
+pub const ALL: &[(&str, Builder)] = &[
+    ("BT", bt),
+    ("CG", cg),
+    ("DC", dc),
+    ("EP", ep),
+    ("FT", ft),
+    ("IS", is),
+    ("LU", lu),
+    ("MG", mg),
+    ("SP", sp),
+    ("UA", ua),
+];
+
+/// Keep a dummy use of `Time` (behaviour context signatures).
+const _: fn(Time) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn mg_completes_with_spin_barriers() {
+        let topo = Topology::flat(4);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let spec = nas_app(
+            &mut k,
+            NasCfg {
+                name: "MG",
+                iters: 10,
+                phase: Dur::millis(5),
+                jitter_pct: 5,
+                barrier: BarrierKind::Spin(Dur::millis(100)),
+                io: None,
+                straggle_permille: 0,
+                straggle_factor_x10: 22,
+            },
+            4,
+        );
+        let app = k.queue_app(Time::ZERO, spec);
+        assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(10)));
+        assert_eq!(k.app(app).ops, 40, "4 threads × 10 iterations");
+        // Balanced phases within spin budget: total ≈ iters × phase.
+        let elapsed = k.app(app).elapsed().unwrap();
+        assert!(
+            elapsed < Dur::millis(120),
+            "spin barrier avoids sleeps: {elapsed}"
+        );
+    }
+
+    #[test]
+    fn dc_sleeps_for_io() {
+        let topo = Topology::flat(2);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let spec = nas_app(
+            &mut k,
+            NasCfg {
+                name: "DC",
+                iters: 5,
+                phase: Dur::millis(2),
+                jitter_pct: 0,
+                barrier: BarrierKind::Block,
+                io: Some(Dur::millis(10)),
+                straggle_permille: 0,
+                straggle_factor_x10: 22,
+            },
+            2,
+        );
+        let app = k.queue_app(Time::ZERO, spec);
+        assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(10)));
+        let elapsed = k.app(app).elapsed().unwrap();
+        assert!(elapsed >= Dur::millis(60), "io sleeps dominate: {elapsed}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Background kernel-thread noise.
+//!
+//! §6.3 attributes MG's 73 % slowdown under CFS to the scheduler reacting
+//! "to micro changes in the load of cores (e.g., due to a kernel thread
+//! waking up)". This daemon app reproduces that environment: one per-core
+//! pinned thread that wakes every ~10 ms and burns ~100 µs, exactly the
+//! kind of short-lived load spike that perturbs CFS's placement while ULE
+//! (which only counts runnable threads and trusts affinity) ignores it.
+
+use kernel::{from_fn, Action, AppSpec, Kernel, ThreadSpec};
+use simcore::Dur;
+use topology::CpuId;
+
+use crate::P;
+
+/// Build the per-core kernel-noise daemon app.
+pub fn kernel_noise(_k: &mut Kernel, p: &P) -> AppSpec {
+    AppSpec::new(
+        "kworkers",
+        (0..p.ncores)
+            .map(|c| {
+                ThreadSpec::new(
+                    format!("kworker/{c}"),
+                    from_fn({
+                        let mut phase = false;
+                        move |ctx| {
+                            phase = !phase;
+                            if phase {
+                                let s = ctx.rng.gen_range(9_000, 15_000);
+                                Action::Sleep(Dur::micros(s))
+                            } else {
+                                let r = ctx.rng.gen_range(500, 1_200);
+                                Action::Run(Dur::micros(r))
+                            }
+                        }
+                    }),
+                )
+                .pinned(vec![CpuId(c as u32)])
+                .with_history(Dur::ZERO, Dur::secs(2))
+            })
+            .collect(),
+    )
+    .daemon()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn noise_is_a_daemon_and_stays_pinned() {
+        let topo = Topology::flat(2);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let p = P::full(2);
+        let spec = kernel_noise(&mut k, &p);
+        assert!(spec.daemon);
+        assert_eq!(spec.threads.len(), 2);
+        let _app = k.queue_app(Time::ZERO, spec);
+        k.run_until(Time::ZERO + Dur::millis(100));
+        assert!(
+            k.all_apps_done(),
+            "daemon apps never block completion tracking"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! RocksDB read-write workload (§4.2): reader and writer threads with
+//! mixed sleep patterns plus background compaction bursts — chosen by the
+//! paper precisely "to schedule threads with different behaviors".
+
+use kernel::{from_fn, Action, AppSpec, Kernel, ThreadSpec};
+use simcore::Dur;
+
+use crate::P;
+
+/// Build the RocksDB model: `2·ncores` readers, `ncores/2` writers and two
+/// detached compaction threads.
+pub fn rocksdb(_k: &mut Kernel, p: &P) -> AppSpec {
+    let mut threads = Vec::new();
+    let per_reader_ops = p.count(4000);
+    for i in 0..(p.ncores * 2) {
+        threads.push(
+            ThreadSpec::new(
+                format!("rocksdb-get-{i}"),
+                from_fn({
+                    let mut done = 0u64;
+                    let mut state = 0u8;
+                    move |ctx| match state {
+                        0 => {
+                            if done == per_reader_ops {
+                                return Action::Exit;
+                            }
+                            state = 1;
+                            Action::Run(Dur::micros(20))
+                        }
+                        1 => {
+                            done += 1;
+                            state = if ctx.rng.gen_bool(0.25) { 2 } else { 3 };
+                            Action::CountOps(1)
+                        }
+                        2 => {
+                            // Block-cache miss: wait for the read.
+                            state = 0;
+                            Action::Sleep(Dur::micros(400))
+                        }
+                        _ => {
+                            state = 0;
+                            // Cache hit: continue immediately (tiny yield
+                            // keeps the loop from being a pure spin).
+                            Action::Run(Dur::micros(5))
+                        }
+                    }
+                }),
+            )
+            .with_history(Dur::ZERO, Dur::secs(1)),
+        );
+    }
+    let per_writer_ops = p.count(2000);
+    for i in 0..(p.ncores / 2).max(1) {
+        threads.push(
+            ThreadSpec::new(
+                format!("rocksdb-put-{i}"),
+                from_fn({
+                    let mut done = 0u64;
+                    let mut state = 0u8;
+                    move |_ctx| match state {
+                        0 => {
+                            if done == per_writer_ops {
+                                return Action::Exit;
+                            }
+                            state = 1;
+                            Action::Run(Dur::micros(40))
+                        }
+                        1 => {
+                            done += 1;
+                            state = 2;
+                            Action::CountOps(1)
+                        }
+                        _ => {
+                            // WAL fsync.
+                            state = 0;
+                            Action::Sleep(Dur::micros(800))
+                        }
+                    }
+                }),
+            )
+            .with_history(Dur::ZERO, Dur::secs(1)),
+        );
+    }
+    for i in 0..2 {
+        threads.push(
+            ThreadSpec::new(
+                format!("rocksdb-compact-{i}"),
+                from_fn({
+                    let mut phase = false;
+                    move |ctx| {
+                        phase = !phase;
+                        if phase {
+                            let s = ctx.rng.gen_range(200, 400);
+                            Action::Sleep(Dur::millis(s))
+                        } else {
+                            Action::Run(Dur::millis(150))
+                        }
+                    }
+                }),
+            )
+            .with_history(Dur::ZERO, Dur::secs(1))
+            .detached(),
+        );
+    }
+    AppSpec::new("rocksdb", threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn rocksdb_counts_ops_and_finishes() {
+        let topo = Topology::flat(2);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let p = P::scaled(2, 0.02);
+        let spec = rocksdb(&mut k, &p);
+        let app = k.queue_app(Time::ZERO, spec);
+        assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(120)));
+        let a = k.app(app);
+        // 4 readers × 80 + 1 writer × 40 ops.
+        assert_eq!(a.ops, 4 * 80 + 40);
+    }
+}

@@ -1,0 +1,133 @@
+//! Synthetic workloads: fibo, spinner storms (Figure 6) and hackbench.
+
+use kernel::{cpu_hog, from_fn, spinner, Action, AppSpec, Kernel, ThreadSpec};
+use simcore::Dur;
+use topology::CpuId;
+
+use crate::P;
+
+/// fibo: "a synthetic application computing Fibonacci numbers" — one
+/// CPU-bound thread that never sleeps. `work` is its total CPU demand.
+pub fn fibo(work: Dur) -> AppSpec {
+    AppSpec::new(
+        "fibo",
+        vec![ThreadSpec::new("fibo", cpu_hog(work, Dur::millis(5)))],
+    )
+}
+
+/// The fibo instance used in the Figure 5/8 suite (§5.3 sizing).
+pub fn fibo_suite(_k: &mut Kernel, p: &P) -> AppSpec {
+    fibo(p.work(Dur::secs(30)))
+}
+
+/// The Figure 6 workload: `n` spinning threads (infinite empty loops)
+/// pinned to core 0 until a `taskset` unpins them.
+pub fn pinned_spinners(n: usize) -> AppSpec {
+    AppSpec::new(
+        "spinners",
+        (0..n)
+            .map(|i| {
+                ThreadSpec::new(format!("spin{i}"), spinner(Dur::millis(4))).pinned(vec![CpuId(0)])
+            })
+            .collect(),
+    )
+    .daemon()
+}
+
+/// hackbench: "creates a large number of threads that run for a short
+/// amount of time and exchange data using pipes". `groups` of 20 senders +
+/// 20 receivers each; every sender sends `msgs` messages into the group's
+/// pipe and every receiver drains its share.
+pub fn hackbench(k: &mut Kernel, groups: usize, msgs: u64) -> AppSpec {
+    const SENDERS: usize = 20;
+    const RECEIVERS: usize = 20;
+    let mut threads = Vec::with_capacity(groups * (SENDERS + RECEIVERS));
+    for g in 0..groups {
+        let q = k.new_queue(400);
+        for s in 0..SENDERS {
+            threads.push(ThreadSpec::new(
+                format!("hb-send-{g}-{s}"),
+                from_fn({
+                    let mut sent = 0u64;
+                    let mut phase = false;
+                    move |_ctx| {
+                        if sent == msgs {
+                            return Action::Exit;
+                        }
+                        phase = !phase;
+                        if phase {
+                            Action::Run(Dur::micros(5))
+                        } else {
+                            sent += 1;
+                            Action::QueuePut(q, sent)
+                        }
+                    }
+                }),
+            ));
+        }
+        let quota = msgs * SENDERS as u64 / RECEIVERS as u64;
+        for r in 0..RECEIVERS {
+            threads.push(ThreadSpec::new(
+                format!("hb-recv-{g}-{r}"),
+                from_fn({
+                    let mut got = 0u64;
+                    let mut pending = false;
+                    move |ctx| {
+                        if pending && ctx.value.is_some() {
+                            pending = false;
+                            got += 1;
+                            return Action::Run(Dur::micros(5));
+                        }
+                        if got == quota {
+                            return Action::Exit;
+                        }
+                        pending = true;
+                        Action::QueueGet(q)
+                    }
+                }),
+            ));
+        }
+    }
+    AppSpec::new(format!("hackbench-{groups}"), threads)
+}
+
+/// Figure 8's `Hackb-800`: 800 groups ≈ 32 000 threads. Scaling shrinks
+/// the number of groups, not the per-pipe message count (fewer groups is
+/// the same benchmark on a smaller machine; fewer messages degenerates it).
+pub fn hackbench_800(k: &mut Kernel, p: &P) -> AppSpec {
+    hackbench(k, p.count(800) as usize, 120)
+}
+
+/// Figure 8's `Hackb-10`: 10 groups = 400 threads.
+pub fn hackbench_10(k: &mut Kernel, _p: &P) -> AppSpec {
+    hackbench(k, 10, 150)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn hackbench_completes_and_counts() {
+        let topo = Topology::flat(2);
+        let sched = Box::new(SimpleRR::new(&topo));
+        let mut k = Kernel::new(topo, SimConfig::frictionless(3), sched);
+        let spec = hackbench(&mut k, 2, 10);
+        assert_eq!(spec.threads.len(), 80);
+        let app = k.queue_app(Time::ZERO, spec);
+        assert!(
+            k.run_until_apps_done(Time::ZERO + Dur::secs(30)),
+            "hackbench must drain"
+        );
+        assert!(k.app(app).finished.is_some());
+    }
+
+    #[test]
+    fn fibo_is_single_threaded() {
+        let spec = fibo(Dur::secs(1));
+        assert_eq!(spec.threads.len(), 1);
+    }
+}
