@@ -3,9 +3,9 @@
 use cfs::Cfs;
 use criterion::{criterion_group, criterion_main, Criterion};
 use kernel::{cpu_hog, AppSpec, Kernel, SimConfig, ThreadSpec};
-use sched_api::Scheduler;
+use sched_api::{EnqueueKind, GroupId, Scheduler, Task, TaskState, TaskTable};
 use simcore::{Dur, EventQueue, SimRng, Time};
-use topology::Topology;
+use topology::{CpuId, Topology};
 use ule::interactivity::Interactivity;
 use ule::Ule;
 
@@ -22,6 +22,79 @@ fn bench_event_queue(c: &mut Criterion) {
                 sum = sum.wrapping_add(v);
             }
             sum
+        })
+    });
+    // The kernel cancels a pending completion on every preemption and
+    // migration, so cancel + skip-on-pop is as hot as push/pop itself.
+    c.bench_function("event_queue_push_cancel_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..1000u64)
+                .map(|i| q.push(Time(i * 7919 % 100_000), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    // Steady-state slot recycling: a bounded queue living through many
+    // push/cancel/pop generations (the shape a long simulation produces).
+    c.bench_function("event_queue_recycle_64x100", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut t = 0u64;
+            let mut acc = 0u64;
+            for _ in 0..100 {
+                let ids: Vec<_> = (0..64u64).map(|i| q.push(Time(t + i), i)).collect();
+                for id in ids.iter().step_by(3) {
+                    q.cancel(*id);
+                }
+                while let Some((at, _)) = q.pop() {
+                    acc = acc.wrapping_add(at.0);
+                }
+                t += 64;
+            }
+            acc
+        })
+    });
+}
+
+/// CFS periodic `balance_tick` with the caller-provided target buffer: the
+/// per-tick path the kernel drives on every CPU every millisecond. Past the
+/// first iteration the buffers are warm, so this measures the steady-state
+/// allocation-free cost.
+fn bench_balance_tick(c: &mut Criterion) {
+    let topo = Topology::opteron_6172();
+    let mut cfs = Cfs::new(&topo);
+    let mut tasks = TaskTable::new();
+    let now = Time::ZERO;
+    // Pile work on CPU 0 so the balancer has something to look at.
+    for i in 0..64 {
+        let tid = tasks.insert_with(|t| Task::new(t, format!("t{i}"), GroupId(1)));
+        cfs.task_fork(&tasks, tid, None, now);
+        let t = tasks.get_mut(tid);
+        t.cpu = CpuId(0);
+        t.state = TaskState::Runnable;
+        t.on_rq = true;
+        cfs.enqueue_task(&mut tasks, CpuId(0), tid, EnqueueKind::New, now);
+    }
+    c.bench_function("cfs_balance_tick_32cpu", |b| {
+        let mut targets = Vec::new();
+        let mut t = now;
+        b.iter(|| {
+            t += Dur::millis(1);
+            let mut moved = 0usize;
+            for cpu in topo.all_cpus() {
+                targets.clear();
+                cfs.balance_tick(&mut tasks, cpu, t, &mut targets);
+                moved += targets.len();
+            }
+            moved
         })
     });
 }
@@ -148,6 +221,7 @@ fn bench_rng(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_event_queue,
+    bench_balance_tick,
     bench_pelt,
     bench_interactivity,
     bench_busy_second,

@@ -9,7 +9,7 @@
 //! the load difference between the nodes is small (less than 25% in
 //! practice), then no load balancing is performed."
 
-use sched_api::{DequeueKind, EnqueueKind, Scheduler, SelectStats, TaskTable, Tid};
+use sched_api::{DequeueKind, EnqueueKind, Scheduler, SelectStats, TaskTable};
 use simcore::Time;
 use topology::CpuId;
 
@@ -18,15 +18,15 @@ use crate::Cfs;
 impl Cfs {
     /// Periodic balancing opportunity on `cpu`'s tick: walk its domains,
     /// balance each whose interval expired (if this CPU is the designated
-    /// balancer of its group). Returns the destination CPU once per task
-    /// migrated, so the kernel can reschedule it.
+    /// balancer of its group). Appends the destination CPU to `out` once
+    /// per task migrated, so the kernel can reschedule it.
     pub(crate) fn periodic_balance(
         &mut self,
         tasks: &mut TaskTable,
         cpu: CpuId,
         now: Time,
-    ) -> Vec<CpuId> {
-        let mut out = Vec::new();
+        out: &mut Vec<CpuId>,
+    ) {
         for di in 0..self.domains[cpu.index()].len() {
             {
                 let ds = &mut self.domains[cpu.index()][di];
@@ -43,7 +43,6 @@ impl Cfs {
                 out.push(cpu);
             }
         }
-        out
     }
 
     /// Newidle balancing: the CPU just went idle and tries to pull work
@@ -156,8 +155,14 @@ impl Cfs {
         let imbalance = self.cpu_load(src).saturating_sub(self.cpu_load(dst)) / 2;
         let mut moved = 0usize;
         let mut moved_load = 0u64;
-        let candidates: Vec<Tid> = self.queued_tids(src).into_iter().rev().collect();
-        for tid in candidates {
+        // Steal from the tail of the source rq (largest vruntime first);
+        // the candidate list lives in a reused scratch buffer because this
+        // runs on the tick path.
+        let mut candidates = std::mem::take(&mut self.scratch_tids);
+        candidates.clear();
+        self.queued_tids_into(src, &mut candidates);
+        candidates.reverse();
+        for tid in candidates.drain(..) {
             if moved >= self.p.max_migrate || moved_load >= imbalance {
                 break;
             }
@@ -182,6 +187,7 @@ impl Cfs {
             moved += 1;
             moved_load += w_moved;
         }
+        self.scratch_tids = candidates;
         let ds = &mut self.domains[dst.index()][di];
         if moved == 0 {
             ds.nr_failed += 1;

@@ -102,6 +102,10 @@ pub struct Cfs {
     pub(crate) groups: Vec<Group>,
     pub(crate) cpus: Vec<CpuRq>,
     pub(crate) domains: Vec<Vec<DomState>>,
+    /// Reused migration-candidate buffer (`load_balance` runs every few
+    /// ticks; re-collecting the source rq into a fresh `Vec` each time was
+    /// measurable in the event loop).
+    pub(crate) scratch_tids: Vec<Tid>,
 }
 
 impl Cfs {
@@ -154,6 +158,7 @@ impl Cfs {
                 })
                 .collect(),
             domains,
+            scratch_tids: Vec::new(),
         }
     }
 
@@ -399,7 +404,22 @@ impl Scheduler for Cfs {
                     abs as u64
                 }
             }
-            EnqueueKind::Migrate | EnqueueKind::Requeue => stored.wrapping_add(rq_min),
+            EnqueueKind::Migrate | EnqueueKind::Requeue => {
+                // `stored` is a *signed* offset relative to the source
+                // rq's min_vruntime (see the renormalisation in
+                // `dequeue_task`): a task parked at the wakeup floor sits
+                // *below* min_vruntime, making the offset negative. Rebase
+                // in signed arithmetic and clamp at this rq's sleeper
+                // floor; a plain unsigned wrap would sort the entity to
+                // the far right of the tree and drag min_vruntime with it.
+                let abs = (stored as i64 as i128) + rq_min as i128;
+                let floor = rq_min.saturating_sub(self.p.sleeper_bonus.as_nanos());
+                if abs <= floor as i128 {
+                    floor
+                } else {
+                    abs as u64
+                }
+            }
         };
         self.tent_mut(tid).ent.vruntime = v;
 
@@ -646,8 +666,14 @@ impl Scheduler for Cfs {
         self.tents[tid.index()] = None;
     }
 
-    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId> {
-        self.periodic_balance(tasks, cpu, now)
+    fn balance_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        targets: &mut Vec<CpuId>,
+    ) {
+        self.periodic_balance(tasks, cpu, now, targets);
     }
 
     fn idle_balance(
@@ -664,8 +690,7 @@ impl Scheduler for Cfs {
         self.cpus[cpu.index()].h_nr
     }
 
-    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
-        let mut out = Vec::new();
+    fn queued_tids_into(&self, cpu: CpuId, out: &mut Vec<Tid>) {
         for &(_, key) in self.cpus[cpu.index()].root.iter() {
             match key {
                 EntKey::Task(t) => out.push(t),
@@ -687,7 +712,6 @@ impl Scheduler for Cfs {
                 }
             }
         }
-        out
     }
 
     fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot {

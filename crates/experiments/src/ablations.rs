@@ -118,15 +118,31 @@ pub fn run(cfg: &RunCfg) -> Ablations {
     let mut ule_buggy = UleParams::default();
     ule_buggy.periodic_balance = false;
 
+    // All eight ablation runs are independent simulations; hand them to
+    // the runner pool. `u32` results are carried as `f64` (they are small
+    // integer counts, exactly representable).
+    let d2 = defaults.clone();
+    let d3 = defaults.clone();
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = vec![
+        Box::new(|| fibo_share(defaults, cfg)),
+        Box::new(|| fibo_share(no_cgroups, cfg)),
+        Box::new(|| f64::from(ule_core0_after(ule_fixed, cfg))),
+        Box::new(|| f64::from(ule_core0_after(ule_buggy, cfg))),
+        Box::new(|| f64::from(cfs_spread(d2, cfg))),
+        Box::new(|| f64::from(cfs_spread(pct100, cfg))),
+        Box::new(|| apache_rps(d3, cfg)),
+        Box::new(|| apache_rps(no_preempt, cfg)),
+    ];
+    let r = crate::runner::run_all(jobs);
     Ablations {
-        cfs_fibo_share_cgroups_on: fibo_share(defaults.clone(), cfg),
-        cfs_fibo_share_cgroups_off: fibo_share(no_cgroups, cfg),
-        ule_core0_with_balancer: ule_core0_after(ule_fixed, cfg),
-        ule_core0_with_bug: ule_core0_after(ule_buggy, cfg),
-        cfs_spread_pct125: cfs_spread(defaults.clone(), cfg),
-        cfs_spread_pct100: cfs_spread(pct100, cfg),
-        cfs_apache_rps_preempt: apache_rps(defaults, cfg),
-        cfs_apache_rps_no_preempt: apache_rps(no_preempt, cfg),
+        cfs_fibo_share_cgroups_on: r[0],
+        cfs_fibo_share_cgroups_off: r[1],
+        ule_core0_with_balancer: r[2] as u32,
+        ule_core0_with_bug: r[3] as u32,
+        cfs_spread_pct125: r[4] as u32,
+        cfs_spread_pct100: r[5] as u32,
+        cfs_apache_rps_preempt: r[6],
+        cfs_apache_rps_no_preempt: r[7],
     }
 }
 

@@ -1,0 +1,133 @@
+//! `battle bench` — wall-clock simulator throughput measurement.
+//!
+//! Not a paper experiment: this measures the *simulator itself*. It runs a
+//! fixed busy-machine scenario (64 CPU-bound threads on the 32-core
+//! Opteron) under both schedulers and reports how fast the event loop
+//! chews through it: events per wall-clock second, and how many simulated
+//! milliseconds one real millisecond buys. The numbers feed `BENCH_sim.json`
+//! so perf regressions in the hot path (event queue, balance buffers,
+//! trace gating) show up as a drop between commits.
+
+use kernel::{cpu_hog, AppSpec, ThreadSpec};
+use simcore::{Dur, Time};
+use topology::Topology;
+
+use crate::{make_kernel, RunCfg, Sched};
+
+/// Throughput of one scheduler's run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchResult {
+    /// Scheduler name ("CFS"/"ULE").
+    pub sched: String,
+    /// Simulated span covered.
+    pub sim_seconds: f64,
+    /// Wall-clock time it took.
+    pub wall_seconds: f64,
+    /// Kernel events processed.
+    pub events: u64,
+    /// Events per wall-clock second — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Simulated ms bought per real ms (>1 means faster than real time).
+    pub sim_ms_per_real_ms: f64,
+    /// Context switches simulated (work-volume sanity check).
+    pub ctx_switches: u64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, serde::Serialize)]
+pub struct BenchReport {
+    /// Work-volume scale the runs used.
+    pub scale: f64,
+    /// Seed the runs used.
+    pub seed: u64,
+    /// One entry per scheduler, CFS first.
+    pub results: Vec<BenchResult>,
+}
+
+/// Simulated seconds to cover at `scale` (clamped so even tiny scales
+/// measure something and huge ones stay bounded).
+fn sim_span(scale: f64) -> f64 {
+    (4.0 * scale).clamp(0.25, 30.0)
+}
+
+/// Run the throughput benchmark under both schedulers, sequentially —
+/// parallel runs would contend for cores and corrupt the wall-clock
+/// numbers.
+pub fn run(cfg: &RunCfg) -> BenchReport {
+    let sim_secs = sim_span(cfg.scale);
+    let mut results = Vec::new();
+    for sched in Sched::BOTH {
+        let topo = Topology::opteron_6172();
+        let mut k = make_kernel(&topo, sched, cfg.seed);
+        let threads = (0..64)
+            .map(|i| ThreadSpec::new(format!("w{i}"), cpu_hog(Dur::secs(60), Dur::millis(3))))
+            .collect();
+        k.queue_app(Time::ZERO, AppSpec::new("busy", threads));
+        let start = std::time::Instant::now();
+        k.run_until(Time::ZERO + Dur::secs_f64(sim_secs));
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        let events = k.counters().events;
+        results.push(BenchResult {
+            sched: sched.name().to_string(),
+            sim_seconds: sim_secs,
+            wall_seconds: wall,
+            events,
+            events_per_sec: events as f64 / wall,
+            sim_ms_per_real_ms: sim_secs * 1e3 / (wall * 1e3),
+            ctx_switches: k.counters().ctx_switches,
+        });
+    }
+    BenchReport {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        results,
+    }
+}
+
+/// Render the report as a table.
+pub fn report(r: &BenchReport) -> String {
+    let mut t = metrics::Table::new(&[
+        "sched",
+        "sim s",
+        "wall s",
+        "events",
+        "events/s",
+        "sim-ms per real-ms",
+    ]);
+    for b in &r.results {
+        t.push(&[
+            b.sched.clone(),
+            format!("{:.2}", b.sim_seconds),
+            format!("{:.3}", b.wall_seconds),
+            format!("{}", b.events),
+            format!("{:.0}", b.events_per_sec),
+            format!("{:.1}", b.sim_ms_per_real_ms),
+        ]);
+    }
+    let mut s = String::from("Simulator throughput (busy 32-core machine, 64 CPU hogs)\n");
+    s.push_str(&t.render());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_nonzero_throughput() {
+        let r = run(&RunCfg::at_scale(0.05));
+        assert_eq!(r.results.len(), 2);
+        for b in &r.results {
+            assert!(b.events > 0, "{}: no events processed", b.sched);
+            assert!(b.events_per_sec > 0.0);
+            assert!(b.sim_ms_per_real_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn sim_span_is_clamped() {
+        assert!((sim_span(0.001) - 0.25).abs() < 1e-12);
+        assert!((sim_span(1.0) - 4.0).abs() < 1e-12);
+        assert!((sim_span(100.0) - 30.0).abs() < 1e-12);
+    }
+}

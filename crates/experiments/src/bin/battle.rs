@@ -1,19 +1,24 @@
 //! `battle` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! battle <experiment> [--scale S] [--seed N] [--json PATH]
+//! battle <experiment> [--scale S] [--seed N] [--json PATH] [--threads N]
 //!
-//! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 all
+//! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!              ablations desktop bench all
 //! ```
 //!
 //! `--scale` shrinks work volumes (default 1.0 = paper-sized runs; use
-//! e.g. 0.1 for a quick pass). Results print as ASCII tables/charts and can
-//! additionally be dumped as JSON.
+//! e.g. 0.1 for a quick pass). `--threads` sets the simulation worker-pool
+//! size (default: all available cores); output is byte-identical whatever
+//! the value. Results print as ASCII tables/charts and can additionally be
+//! dumped as JSON. `bench` measures the simulator's own wall-clock
+//! throughput and writes `BENCH_sim.json`.
 
 use std::io::Write;
 
 use experiments::{
-    ablations, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, table1, table2, RunCfg,
+    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, runner, table1,
+    table2, RunCfg,
 };
 
 struct Args {
@@ -37,6 +42,14 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("missing value for --seed")?;
                 cfg.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => {
+                let v = args.next().ok_or("missing value for --threads")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                runner::set_threads(n);
+            }
             "--json" => json = Some(args.next().ok_or("missing value for --json")?),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -49,15 +62,26 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|all> \
-     [--scale S] [--seed N] [--json PATH]"
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|all> \
+     [--scale S] [--seed N] [--json PATH] [--threads N]"
         .to_string()
 }
 
-fn dump_json(path: &Option<String>, value: &impl serde::Serialize) {
-    if let Some(p) = path {
-        let s = serde_json::to_string_pretty(value).expect("serializable");
-        std::fs::write(p, s).unwrap_or_else(|e| eprintln!("cannot write {p}: {e}"));
+/// Write `value` as pretty JSON to `path` (if set). Returns `false` on an
+/// I/O failure so `main` can exit nonzero instead of silently dropping the
+/// requested output.
+#[must_use]
+fn dump_json(path: &Option<String>, value: &impl serde::Serialize) -> bool {
+    let Some(p) = path else {
+        return true;
+    };
+    let s = serde_json::to_string_pretty(value).expect("serializable");
+    match std::fs::write(p, s) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("cannot write {p}: {e}");
+            false
+        }
     }
 }
 
@@ -71,83 +95,94 @@ fn print_validation(name: &str, problems: Vec<String>) {
     }
 }
 
-fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>) {
-    match name {
+/// Run one experiment; returns `false` if a requested JSON dump failed.
+fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>) -> bool {
+    let ok = match name {
         "table1" => {
             print!("{}", table1::report());
+            true
         }
         "fig1" => {
             let fig = fig1::run_both(cfg);
             print!("{}", fig1::report(&fig));
             print_validation("fig1", fig1::validate(&fig));
-            dump_json(json, &fig);
+            dump_json(json, &fig)
         }
         "fig2" => {
             let ule = fig2::run(cfg);
             print!("{}", fig2::report(&ule));
             print_validation("fig2", fig2::validate(&ule));
-            dump_json(json, &ule);
+            dump_json(json, &ule)
         }
         "table2" => {
             let fig = table2::run(cfg);
             print!("{}", table2::report(&fig));
-            dump_json(json, &fig);
+            dump_json(json, &fig)
         }
         "fig3" | "fig4" | "fig34" => {
             let f = fig34::run(cfg);
             print!("{}", fig34::report(&f));
             print_validation("fig3/4", fig34::validate(&f));
-            dump_json(json, &f);
+            dump_json(json, &f)
         }
         "fig5" => {
             let cmp = fig5::run(cfg);
             print!("{}", fig5::report(&cmp));
             print_validation("fig5", fig5::validate(&cmp));
-            dump_json(json, &cmp);
+            dump_json(json, &cmp)
         }
         "fig6" => {
             let fig = fig6::run_both(cfg);
             print!("{}", fig6::report(&fig));
             let nthreads = ((512.0 * cfg.scale).round() as u32).max(64);
             print_validation("fig6", fig6::validate(&fig, nthreads, 32));
-            dump_json(json, &fig);
+            dump_json(json, &fig)
         }
         "fig7" => {
             let fig = fig7::run_both(cfg);
             print!("{}", fig7::report(&fig));
             print_validation("fig7", fig7::validate(&fig));
-            dump_json(json, &fig);
+            dump_json(json, &fig)
         }
         "fig8" => {
             let cmp = fig8::run(cfg);
             print!("{}", fig8::report(&cmp));
             print_validation("fig8", fig8::validate(&cmp));
-            dump_json(json, &cmp);
+            dump_json(json, &cmp)
         }
         "fig9" => {
             let fig = fig9::run(cfg);
             print!("{}", fig9::report(&fig));
             print_validation("fig9", fig9::validate(&fig));
-            dump_json(json, &fig);
+            dump_json(json, &fig)
         }
         "ablations" => {
             let a = ablations::run(cfg);
             print!("{}", ablations::report(&a));
             print_validation("ablations", ablations::validate(&a));
-            dump_json(json, &a);
+            dump_json(json, &a)
         }
         "desktop" => {
             let d = desktop::run(cfg);
             print!("{}", desktop::report(&d));
             print_validation("desktop", desktop::validate(&d));
-            dump_json(json, &d);
+            dump_json(json, &d)
+        }
+        "bench" => {
+            let r = bench::run(cfg);
+            print!("{}", bench::report(&r));
+            // `bench` always writes its JSON artifact; --json overrides the
+            // default path.
+            let path = Some(json.clone().unwrap_or_else(|| "BENCH_sim.json".into()));
+            dump_json(&path, &r)
         }
         other => {
             eprintln!("unknown experiment {other}\n{}", usage());
             std::process::exit(2);
         }
-    }
+    };
     std::io::stdout().flush().ok();
+    ok
 }
 
 fn main() {
@@ -158,6 +193,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut ok = true;
     if args.experiment == "all" {
         for name in [
             "table1",
@@ -174,7 +210,7 @@ fn main() {
             "desktop",
         ] {
             println!("════════════════════════ {name} ════════════════════════");
-            run_one(
+            ok &= run_one(
                 name,
                 &args.cfg,
                 &args.json.as_ref().map(|p| format!("{p}.{name}.json")),
@@ -182,6 +218,9 @@ fn main() {
             println!();
         }
     } else {
-        run_one(&args.experiment, &args.cfg, &args.json);
+        ok = run_one(&args.experiment, &args.cfg, &args.json);
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

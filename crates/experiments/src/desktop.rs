@@ -64,21 +64,33 @@ fn unpin_spread(sched: Sched, cfg: &RunCfg) -> u32 {
     (*counts.iter().max().unwrap() - *counts.iter().min().unwrap()) as u32
 }
 
-/// Run the desktop cross-check.
+/// Run the desktop cross-check. The eight underlying simulations are
+/// independent, so they go through the runner pool.
 pub fn run(cfg: &RunCfg) -> Desktop {
-    let topo = Topology::core_i7_3770();
+    let topo = &Topology::core_i7_3770();
     let all = suite();
     let apache = all.iter().find(|e| e.name == "Apache").expect("apache");
     let mg = all.iter().find(|e| e.name == "MG").expect("mg");
-    let p = |e: &workloads::Entry, s| run_entry(e, s, &topo, cfg, true).perf;
+    let p = |e: &workloads::Entry, s| run_entry(e, s, topo, cfg, true).perf;
     let _ = P::full(8); // the machine size the entries will see
+    let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = vec![
+        Box::new(|| fibo_gain(Sched::Cfs, cfg)),
+        Box::new(|| fibo_gain(Sched::Ule, cfg)),
+        Box::new(|| p(apache, Sched::Ule)),
+        Box::new(|| p(apache, Sched::Cfs)),
+        Box::new(|| f64::from(unpin_spread(Sched::Cfs, cfg))),
+        Box::new(|| f64::from(unpin_spread(Sched::Ule, cfg))),
+        Box::new(|| p(mg, Sched::Ule)),
+        Box::new(|| p(mg, Sched::Cfs)),
+    ];
+    let r = crate::runner::run_all(jobs);
     Desktop {
-        fibo_gain_cfs_s: fibo_gain(Sched::Cfs, cfg),
-        fibo_gain_ule_s: fibo_gain(Sched::Ule, cfg),
-        apache_diff_pct: pct_diff(p(apache, Sched::Ule), p(apache, Sched::Cfs)),
-        spread_after_1s_cfs: unpin_spread(Sched::Cfs, cfg),
-        spread_after_1s_ule: unpin_spread(Sched::Ule, cfg),
-        mg_diff_pct: pct_diff(p(mg, Sched::Ule), p(mg, Sched::Cfs)),
+        fibo_gain_cfs_s: r[0],
+        fibo_gain_ule_s: r[1],
+        apache_diff_pct: pct_diff(r[2], r[3]),
+        spread_after_1s_cfs: r[4] as u32,
+        spread_after_1s_ule: r[5] as u32,
+        mg_diff_pct: pct_diff(r[6], r[7]),
     }
 }
 

@@ -123,12 +123,10 @@ pub struct Fig1 {
     pub ule: Fig1Run,
 }
 
-/// Run both schedulers.
+/// Run both schedulers (in parallel when the runner pool allows).
 pub fn run_both(cfg: &RunCfg) -> Fig1 {
-    Fig1 {
-        cfs: run(Sched::Cfs, cfg),
-        ule: run(Sched::Ule, cfg),
-    }
+    let (cfs, ule) = crate::runner::join(|| run(Sched::Cfs, cfg), || run(Sched::Ule, cfg));
+    Fig1 { cfs, ule }
 }
 
 /// Render the two panels as ASCII charts.

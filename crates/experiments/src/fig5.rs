@@ -10,7 +10,7 @@ use metrics::BarChart;
 use topology::Topology;
 use workloads::suite;
 
-use crate::{pct_diff, run_entry, PerfResult, RunCfg, Sched};
+use crate::{pct_diff, run_entry, runner, PerfResult, RunCfg, Sched};
 
 /// Result of the per-application comparison.
 #[derive(Debug, serde::Serialize)]
@@ -45,19 +45,31 @@ pub fn run_on(
     with_noise: bool,
     extra: &[workloads::Entry],
 ) -> SuiteComparison {
-    let mut rows = Vec::new();
     let all = suite();
-    for entry in all.iter().chain(extra.iter()) {
-        let cfs = run_entry(entry, Sched::Cfs, topo, cfg, with_noise);
-        let ule = run_entry(entry, Sched::Ule, topo, cfg, with_noise);
-        let diff = pct_diff(ule.perf, cfs.perf);
-        rows.push(SuiteRow {
-            name: entry.name.to_string(),
-            cfs,
-            ule,
-            diff_pct: diff,
-        });
-    }
+    // One job per (application, scheduler) pair; the runner returns
+    // results in submission order, so the rows of the table are identical
+    // whatever the thread count.
+    let sims: Vec<(&workloads::Entry, Sched)> = all
+        .iter()
+        .chain(extra.iter())
+        .flat_map(|e| Sched::BOTH.into_iter().map(move |s| (e, s)))
+        .collect();
+    let results = runner::par_map(sims, |(entry, sched)| {
+        run_entry(entry, sched, topo, cfg, with_noise)
+    });
+    let rows = results
+        .chunks_exact(2)
+        .map(|pair| {
+            let (cfs, ule) = (pair[0].clone(), pair[1].clone());
+            let diff = pct_diff(ule.perf, cfs.perf);
+            SuiteRow {
+                name: cfs.name.clone(),
+                cfs,
+                ule,
+                diff_pct: diff,
+            }
+        })
+        .collect();
     SuiteComparison { rows }
 }
 

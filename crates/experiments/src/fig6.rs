@@ -103,12 +103,10 @@ pub struct Fig6 {
     pub cfs: Fig6Run,
 }
 
-/// Run both schedulers.
+/// Run both schedulers (in parallel when the runner pool allows).
 pub fn run_both(cfg: &RunCfg) -> Fig6 {
-    Fig6 {
-        ule: run(Sched::Ule, cfg),
-        cfs: run(Sched::Cfs, cfg),
-    }
+    let (ule, cfs) = crate::runner::join(|| run(Sched::Ule, cfg), || run(Sched::Cfs, cfg));
+    Fig6 { ule, cfs }
 }
 
 /// Render both heatmaps and the headline numbers.

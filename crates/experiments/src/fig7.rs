@@ -91,12 +91,10 @@ pub struct Fig7 {
     pub cfs: Fig7Run,
 }
 
-/// Run both schedulers.
+/// Run both schedulers (in parallel when the runner pool allows).
 pub fn run_both(cfg: &RunCfg) -> Fig7 {
-    Fig7 {
-        ule: run(Sched::Ule, cfg),
-        cfs: run(Sched::Cfs, cfg),
-    }
+    let (ule, cfs) = crate::runner::join(|| run(Sched::Ule, cfg), || run(Sched::Cfs, cfg));
+    Fig7 { ule, cfs }
 }
 
 /// Render both heatmaps and the headline numbers.

@@ -72,19 +72,51 @@ fn run_alone(e: &Entry, sched: Sched, topo: &Topology, cfg: &RunCfg) -> f64 {
     crate::run_entry(e, sched, topo, cfg, false).perf
 }
 
-/// Run the whole figure.
+/// The six independent simulations behind one workload pair.
+#[derive(Clone, Copy)]
+enum Sim {
+    /// `.0` = perf of app A or B alone under the scheduler.
+    AloneA(Sched),
+    AloneB(Sched),
+    /// `.0`/`.1` = perf of A/B co-scheduled under the scheduler.
+    Together(Sched),
+}
+
+/// Run the whole figure. Each pair decomposes into six independent
+/// simulations (4 alone + 2 co-scheduled); all 24 go to the runner pool.
 pub fn run(cfg: &RunCfg) -> Fig9 {
     let topo = Topology::opteron_6172();
-    let mut cells = Vec::new();
-    for (an, bn, category) in PAIRS {
+    const SIMS: [Sim; 6] = [
+        Sim::AloneA(Sched::Cfs),
+        Sim::AloneB(Sched::Cfs),
+        Sim::AloneA(Sched::Ule),
+        Sim::AloneB(Sched::Ule),
+        Sim::Together(Sched::Cfs),
+        Sim::Together(Sched::Ule),
+    ];
+    let jobs: Vec<(usize, Sim)> = (0..PAIRS.len())
+        .flat_map(|pi| SIMS.into_iter().map(move |s| (pi, s)))
+        .collect();
+    let results = crate::runner::par_map(jobs, |(pi, sim)| {
+        let (an, bn, _) = PAIRS[pi];
         let a = find_entry(an);
         let b = find_entry(bn);
-        let a_cfs_alone = run_alone(&a, Sched::Cfs, &topo, cfg);
-        let b_cfs_alone = run_alone(&b, Sched::Cfs, &topo, cfg);
-        let a_ule_alone = run_alone(&a, Sched::Ule, &topo, cfg);
-        let b_ule_alone = run_alone(&b, Sched::Ule, &topo, cfg);
-        let (a_cfs_multi, b_cfs_multi) = run_pair(&a, &b, Sched::Cfs, &topo, cfg);
-        let (a_ule_multi, b_ule_multi) = run_pair(&a, &b, Sched::Ule, &topo, cfg);
+        match sim {
+            Sim::AloneA(s) => (run_alone(&a, s, &topo, cfg), f64::NAN),
+            Sim::AloneB(s) => (run_alone(&b, s, &topo, cfg), f64::NAN),
+            Sim::Together(s) => run_pair(&a, &b, s, &topo, cfg),
+        }
+    });
+
+    let mut cells = Vec::new();
+    for (pi, (an, bn, category)) in PAIRS.into_iter().enumerate() {
+        let r = &results[pi * SIMS.len()..(pi + 1) * SIMS.len()];
+        let a_cfs_alone = r[0].0;
+        let b_cfs_alone = r[1].0;
+        let a_ule_alone = r[2].0;
+        let b_ule_alone = r[3].0;
+        let (a_cfs_multi, b_cfs_multi) = r[4];
+        let (a_ule_multi, b_ule_multi) = r[5];
         cells.push(Fig9Cell {
             name: an.to_string(),
             category,

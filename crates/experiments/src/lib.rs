@@ -27,6 +27,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 pub mod ablations;
+pub mod bench;
 pub mod desktop;
 pub mod fig1;
 pub mod fig2;
@@ -36,6 +37,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod runner;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,199 @@
+//! Parallel execution of independent simulations.
+//!
+//! Every driver in this crate decomposes into independent single-kernel
+//! simulations — one per (experiment, scheduler, workload, seed) tuple.
+//! Each simulation is deterministic, shares nothing with its siblings, and
+//! takes from milliseconds to minutes, so the obvious way to use a
+//! multicore host is to run them side by side.
+//!
+//! The contract that makes this safe to rely on is **result-order
+//! stability**: [`run_all`] returns results in *job submission order*, no
+//! matter how many worker threads ran them or how they interleaved. Since
+//! every simulation is itself deterministic (a seeded [`kernel::Kernel`]
+//! with no wall-clock or thread-id inputs), the output of any driver —
+//! tables, charts, JSON — is byte-identical for `--threads 1` and
+//! `--threads 32`. The cross-thread determinism test in
+//! `tests/determinism.rs` pins this down.
+//!
+//! The pool is a std-only work-stealing-free design: a shared atomic job
+//! index hands each worker the next unclaimed job (scoped threads, no
+//! channels needed because each job writes to its own result slot). This
+//! crate deliberately avoids external thread-pool dependencies so the
+//! workspace builds offline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global worker-count override. 0 = unset, fall back to
+/// [`std::thread::available_parallelism`].
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-pool size used by all subsequent [`run_all`] calls
+/// (the `battle --threads N` flag). `0` restores the default
+/// (= available parallelism).
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-pool size currently in effect.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// One independent simulation: a label (for diagnostics) plus the closure
+/// that runs it and produces its result.
+pub struct SimJob<T> {
+    /// Human-readable description, e.g. `"fig5/Apache/cfs"`.
+    pub label: String,
+    /// The simulation itself.
+    pub run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> SimJob<T> {
+    /// Package a closure as a job.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> SimJob<T> {
+        SimJob {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Run labelled jobs on the pool; results come back in job order.
+pub fn run_jobs<T: Send>(jobs: Vec<SimJob<T>>) -> Vec<T> {
+    run_all(jobs.into_iter().map(|j| j.run).collect())
+}
+
+/// Run every closure, using up to [`threads`] worker threads, and return
+/// the results **in input order** regardless of execution interleaving.
+///
+/// With one worker (or one job) everything runs inline on the caller's
+/// thread — no spawning, identical code path to the sequential version.
+pub fn run_all<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+
+    // Each job sits in its own cell; workers claim cells through a shared
+    // atomic cursor and write each result into the slot with the same
+    // index, so collection order never depends on scheduling.
+    let cells: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = cells[i].lock().unwrap().take().expect("job claimed once");
+                let out = f();
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every job ran"))
+        .collect()
+}
+
+/// Apply `f` to every item on the pool; results in input order.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Send + Sync,
+{
+    let f = &f;
+    run_all(items.into_iter().map(|it| move || f(it)).collect())
+}
+
+/// Run two closures, possibly in parallel, returning both results.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if threads() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        let b = hb.join().expect("worker panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `THREADS` is process-global and the harness runs tests concurrently;
+    /// every test that touches it takes this lock.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let jobs: Vec<_> = (0..64usize)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so out-of-order completion is
+                    // actually exercised.
+                    std::thread::sleep(std::time::Duration::from_micros(((i * 7) % 13) as u64));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = run_all(jobs);
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+        set_threads(0);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(1);
+        let main_id = std::thread::current().id();
+        let ids = run_all(vec![move || std::thread::current().id(), move || {
+            std::thread::current().id()
+        }]);
+        assert!(ids.iter().all(|&id| id == main_id));
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_map_and_join() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(2);
+        assert_eq!(par_map(vec![1, 2, 3], |x| x * x), vec![1, 4, 9]);
+        assert_eq!(join(|| "a", || "b"), ("a", "b"));
+        set_threads(0);
+    }
+
+    #[test]
+    fn labelled_jobs_round_trip() {
+        let jobs = vec![SimJob::new("one", || 1), SimJob::new("two", || 2)];
+        assert_eq!(jobs[0].label, "one");
+        assert_eq!(run_jobs(jobs), vec![1, 2]);
+    }
+}

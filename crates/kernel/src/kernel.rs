@@ -196,8 +196,13 @@ pub struct Kernel {
     counters: Counters,
     hash: DecisionHash,
     trace: simcore::TraceBuffer<TraceEvent>,
+    /// Tracing enabled? Cached from `cfg.trace_capacity > 0` so the hot
+    /// paths skip building [`TraceEvent`]s entirely when tracing is off.
+    trace_on: bool,
     rng: SimRng,
     ticking: bool,
+    /// Reused buffer for `balance_tick` target CPUs (no per-tick allocation).
+    balance_buf: Vec<CpuId>,
 }
 
 impl Kernel {
@@ -206,6 +211,7 @@ impl Kernel {
         let ncpu = topo.nr_cpus();
         let rng = SimRng::new(cfg.seed);
         let trace = simcore::TraceBuffer::with_capacity(cfg.trace_capacity);
+        let trace_on = cfg.trace_capacity > 0;
         Kernel {
             topo,
             cfg,
@@ -221,8 +227,10 @@ impl Kernel {
             counters: Counters::default(),
             hash: DecisionHash::default(),
             trace,
+            trace_on,
             rng,
             ticking: false,
+            balance_buf: Vec::new(),
         }
     }
 
@@ -376,6 +384,7 @@ impl Kernel {
             let (at, ev) = self.events.pop().expect("peeked");
             debug_assert!(at >= self.now);
             self.now = at;
+            self.counters.events += 1;
             self.handle(ev);
         }
         if until > self.now {
@@ -397,6 +406,7 @@ impl Kernel {
             }
             let (at, ev) = self.events.pop().expect("peeked");
             self.now = at;
+            self.counters.events += 1;
             self.handle(ev);
         }
         self.live_apps == 0
@@ -446,11 +456,17 @@ impl Kernel {
                 self.request_resched(cpu);
             }
         }
-        let targets = self.sched.balance_tick(&mut self.tasks, cpu, self.now);
+        // The balance target buffer is owned by the kernel and reused every
+        // tick, so the hot path does not allocate.
+        let mut targets = std::mem::take(&mut self.balance_buf);
+        targets.clear();
+        self.sched
+            .balance_tick(&mut self.tasks, cpu, self.now, &mut targets);
         self.counters.migrations += targets.len() as u64;
-        for t in targets {
+        for &t in &targets {
             self.events.push(self.now, Event::Resched(t));
         }
+        self.balance_buf = targets;
         let next = self.now + self.cfg.tick;
         self.events.push(next, Event::Tick(cpu));
     }
@@ -654,7 +670,7 @@ impl Kernel {
             .sched
             .enqueue_task(&mut self.tasks, target, tid, ekind, self.now);
         self.hash.record(1, self.now, tid.0, target.0);
-        if !is_new {
+        if self.trace_on && !is_new {
             self.trace.push(TraceEvent::Wakeup {
                 at: self.now,
                 tid,
@@ -842,7 +858,9 @@ impl Kernel {
         let t = self.tasks.get_mut(tid);
         t.state = TaskState::Dead;
         t.on_rq = false;
-        self.trace.push(TraceEvent::Exit { at: self.now, tid });
+        if self.trace_on {
+            self.trace.push(TraceEvent::Exit { at: self.now, tid });
+        }
         let rt = self.trt[tid.index()].as_mut().expect("live");
         rt.cont = Cont::Done;
         rt.behavior = None;
@@ -879,7 +897,9 @@ impl Kernel {
             }
             let Some(tid) = picked else {
                 self.cpus[cpu.index()].current = None;
-                self.trace.push(TraceEvent::Idle { at: self.now, cpu });
+                if self.trace_on {
+                    self.trace.push(TraceEvent::Idle { at: self.now, cpu });
+                }
                 return;
             };
             debug_assert_eq!(self.tasks.get(tid).cpu, cpu, "picked task not on this cpu");
@@ -907,12 +927,14 @@ impl Kernel {
             if is_switch {
                 self.counters.ctx_switches += 1;
                 self.hash.record(3, self.now, tid.0, cpu.0);
-                self.trace.push(TraceEvent::Switch {
-                    at: self.now,
-                    cpu,
-                    from: prev_tid,
-                    to: tid,
-                });
+                if self.trace_on {
+                    self.trace.push(TraceEvent::Switch {
+                        at: self.now,
+                        cpu,
+                        from: prev_tid,
+                        to: tid,
+                    });
+                }
                 let cost = self.cfg.ctx_switch_cost;
                 self.cpus[cpu.index()].pending_overhead += cost;
                 self.cpus[cpu.index()].stats.overhead += cost;

@@ -142,16 +142,21 @@ impl Scheduler for SimpleRR {
 
     fn task_dead(&mut self, _tasks: &TaskTable, _tid: Tid, _now: Time) {}
 
-    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId> {
+    fn balance_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        targets: &mut Vec<CpuId>,
+    ) {
         // An idle CPU re-attempts a steal on every tick, so work unpinned
         // after the CPU went idle is still picked up.
         if self.nr_queued(cpu) == 0 {
             let mut stats = SelectStats::default();
             if self.idle_balance(tasks, cpu, now, &mut stats) {
-                return vec![cpu];
+                targets.push(cpu);
             }
         }
-        Vec::new()
     }
 
     fn idle_balance(
@@ -196,8 +201,8 @@ impl Scheduler for SimpleRR {
         rq.queue.len() + usize::from(rq.curr.is_some())
     }
 
-    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
-        self.rqs[cpu.index()].queue.iter().copied().collect()
+    fn queued_tids_into(&self, cpu: CpuId, out: &mut Vec<Tid>) {
+        out.extend(self.rqs[cpu.index()].queue.iter().copied());
     }
 
     fn snapshot(&self, _tasks: &TaskTable, _tid: Tid) -> TaskSnapshot {

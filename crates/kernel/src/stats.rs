@@ -19,6 +19,9 @@ pub struct Counters {
     pub placement_scans: u64,
     /// Tasks spawned.
     pub spawns: u64,
+    /// Simulation events processed by the kernel's event loop. The unit of
+    /// the `battle bench` throughput measurement (events per wall second).
+    pub events: u64,
 }
 
 /// Per-CPU utilisation accounting.

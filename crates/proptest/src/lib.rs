@@ -1,0 +1,406 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest's surface its tests actually
+//! use: the `proptest!` macro with `pattern in strategy` and `name: type`
+//! arguments, integer range strategies, tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `ProptestConfig::with_cases`, and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Every (test, case) pair derives its RNG seed from an FNV hash of the
+//! test's module path and the case index, so runs are fully deterministic
+//! and failures are reproducible. There is no shrinking: a failing case
+//! reports its case index instead of a minimized input.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// Per-case random number generator (xorshift64* over an FNV-seeded
+    /// state, mirroring the simulator's own `SimRng` construction).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one named test case; fully determined by `(name, case)`.
+        pub fn deterministic(name: &str, case: u64) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // splitmix64 finalizer so consecutive cases are well mixed.
+            let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            TestRng { state: z | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn gen_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Test-run configuration (case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.gen_below(width) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = hi.wrapping_sub(lo) as u64;
+                    if width == u64::MAX {
+                        rng.next_u64() as $t
+                    } else {
+                        lo.wrapping_add(rng.gen_below(width + 1) as $t)
+                    }
+                }
+            }
+        )*};
+    }
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical full-range strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive length range for collection strategies. A concrete
+    /// type (rather than a generic `Strategy<Value = usize>` bound) so an
+    /// unsuffixed `1..200` length literal infers as `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a drawn length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.hi - self.len.lo) as u64 + 1;
+            let n = self.len.lo + rng.gen_below(span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` import surface.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace module mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and parameters of the form
+/// `pattern in strategy` or `name: type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $crate::__proptest_bind!(__rng, $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    ::std::panic!(
+                        "property {} failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty $(,)?) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:pat in $strat:expr $(,)?) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::deterministic("x", 0);
+        let mut b = crate::test_runner::TestRng::deterministic("x", 0);
+        let mut c = crate::test_runner::TestRng::deterministic("x", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, n in -5i32..=5, flag in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&n));
+            prop_assert_eq!(u8::from(flag) <= 1, true);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec((0u8..3, 0usize..64), 1..30),
+                                        seed: u64) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            for &(a, b) in &v {
+                prop_assert!(a < 3);
+                prop_assert!(b < 64, "b was {}", b);
+            }
+            prop_assert_eq!(seed, seed);
+        }
+    }
+}

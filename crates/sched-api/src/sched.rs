@@ -194,9 +194,17 @@ pub trait Scheduler {
     /// The class keeps its own timers: CFS balances a domain when that
     /// domain's interval expired (4 ms base); ULE acts only on core 0 with a
     /// randomized 0.5–1.5 s period. Migrations are applied internally
-    /// (updating `Task::cpu`); the return value lists CPUs that received
-    /// tasks and should be rescheduled if idle.
-    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId>;
+    /// (updating `Task::cpu`); CPUs that received tasks — and should be
+    /// rescheduled if idle — are appended to `targets`. The kernel passes
+    /// the same cleared buffer on every tick, so the per-tick hot path
+    /// allocates nothing.
+    fn balance_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        targets: &mut Vec<CpuId>,
+    );
 
     /// `cpu` is about to go idle; try to steal/pull work. Returns `true` if
     /// at least one task was pulled into `cpu`'s runqueue. Linux newidle
@@ -213,8 +221,20 @@ pub trait Scheduler {
     /// the currently running one (the paper's ported-ULE convention).
     fn nr_queued(&self, cpu: CpuId) -> usize;
 
+    /// Append the tids currently queued on `cpu` (excluding the running
+    /// task) to `out`. The allocation-free primitive behind
+    /// [`Scheduler::queued_tids`]; balancers call it with a reused scratch
+    /// buffer.
+    fn queued_tids_into(&self, cpu: CpuId, out: &mut Vec<Tid>);
+
     /// Tids currently queued on `cpu` (excluding the running task).
-    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid>;
+    /// Convenience wrapper over [`Scheduler::queued_tids_into`] for tests
+    /// and diagnostics; allocates.
+    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
+        let mut out = Vec::new();
+        self.queued_tids_into(cpu, &mut out);
+        out
+    }
 
     /// Point-in-time scheduler-internal state of a task, for the figures.
     fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot;

@@ -1,0 +1,211 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of serde's surface it actually uses:
+//! a [`Serialize`] trait that lowers a value into an in-memory JSON-like
+//! [`Value`] tree, plus derive macros (re-exported from the vendored
+//! `serde_derive`) for named-field structs, tuple/newtype structs and
+//! fieldless enums. Rendering a [`Value`] to JSON text lives in the
+//! vendored `serde_json` crate.
+//!
+//! Nothing in the workspace deserializes, so `Deserialize` exists only as
+//! a no-op derive macro.
+
+#![forbid(unsafe_code)]
+
+// Let the `::serde::` paths emitted by the derive macro resolve when the
+// derive is used inside this crate itself (e.g. in its tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number (non-finite values render as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order (struct field order) is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the JSON value representing `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        if *self <= u64::MAX as u128 {
+            Value::UInt(*self as u64)
+        } else {
+            Value::Float(*self as f64)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(7u32.serialize_value(), Value::UInt(7));
+        assert_eq!((-3i32).serialize_value(), Value::Int(-3));
+        assert_eq!(true.serialize_value(), Value::Bool(true));
+        assert_eq!(None::<u8>.serialize_value(), Value::Null);
+        assert_eq!(
+            (1u32, 2.5f64).serialize_value(),
+            Value::Array(vec![Value::UInt(1), Value::Float(2.5)])
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Named {
+        a: u32,
+        b: Vec<(f64, f64)>,
+    }
+
+    #[derive(Serialize)]
+    struct Newtype(u64);
+
+    #[derive(Serialize)]
+    enum Kind {
+        Alpha,
+        #[allow(dead_code)]
+        Beta,
+    }
+
+    #[test]
+    fn derive_covers_the_shapes_the_workspace_uses() {
+        let v = Named {
+            a: 1,
+            b: vec![(0.0, 1.0)],
+        }
+        .serialize_value();
+        match v {
+            Value::Object(fields) => {
+                assert_eq!(fields[0].0, "a");
+                assert_eq!(fields[1].0, "b");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(Newtype(9).serialize_value(), Value::UInt(9));
+        assert_eq!(Kind::Alpha.serialize_value(), Value::Str("Alpha".into()));
+    }
+}

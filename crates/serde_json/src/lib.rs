@@ -1,0 +1,156 @@
+//! Vendored minimal stand-in for `serde_json` (offline build).
+//!
+//! Renders the [`serde::Value`] tree produced by the vendored `serde`
+//! crate as JSON text. Output is deterministic: struct fields appear in
+//! declaration order and floats use Rust's shortest round-trip formatting.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization error. The vendored serializer is infallible in practice;
+/// the type exists so call sites keep serde_json's `Result` shape.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float formatting
+                // (e.g. `1.0`, not `1`), which is what JSON needs.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_render() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("fibo".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"fibo","xs":[1,2.5],"empty":[]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.starts_with("{\n  \"name\": \"fibo\",\n  \"xs\": [\n    1,"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

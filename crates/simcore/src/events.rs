@@ -9,6 +9,13 @@
 //! [`EventQueue::cancel`] marks it dead; dead entries are skipped lazily on
 //! pop. The kernel uses this to invalidate a task's pending run-completion
 //! event whenever the task is preempted, migrated, or charged overhead.
+//!
+//! Ids are generation-stamped slot indices rather than entries in a hash
+//! set: every in-heap event owns one slot in a recycled slot table, and an
+//! [`EventId`] packs `(generation, slot)`. The per-pop liveness check is a
+//! single indexed load instead of a `HashSet` lookup — this queue is the
+//! innermost loop of the whole simulator — and a stale id (cancel after
+//! fire) simply fails its generation check.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -16,12 +23,42 @@ use std::collections::BinaryHeap;
 use crate::time::Time;
 
 /// Opaque handle to a scheduled event, used for cancellation.
+///
+/// Packs `(generation << 32) | slot`. The generation is bumped each time a
+/// slot is recycled, so a handle kept after its event fired can never alias
+/// a newer event (until a single slot sees 2³² reuses, which at simulator
+/// event rates is out of reach).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(gen: u32, slot: u32) -> EventId {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Liveness state of one slot in the recycled slot table.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Current generation; an [`EventId`] is live iff its stamp matches.
+    gen: u32,
+    /// Set by [`EventQueue::cancel`]; checked (and the slot freed) on pop.
+    cancelled: bool,
+}
 
 #[derive(Debug)]
 struct Entry<E> {
     key: Reverse<(Time, u64)>,
+    /// Index of the slot this in-heap event owns.
+    slot: u32,
     payload: E,
 }
 
@@ -47,10 +84,14 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Monotonic sequence number; doubles as the event id.
+    /// Monotonic sequence number providing same-time FIFO order.
     next_seq: u64,
-    /// Sorted set of cancelled ids would be overkill; a hash set suffices.
-    cancelled: std::collections::HashSet<u64>,
+    /// One slot per in-heap event; freed and generation-bumped on pop.
+    slots: Vec<Slot>,
+    /// Indices of slots not currently owned by an in-heap event.
+    free: Vec<u32>,
+    /// Heap entries that are not cancelled.
+    live: usize,
     /// Time of the most recently popped event; pops are monotone.
     last_pop: Time,
 }
@@ -67,7 +108,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             last_pop: Time::ZERO,
         }
     }
@@ -77,28 +120,57 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Time, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
         self.heap.push(Entry {
             key: Reverse((at, seq)),
+            slot,
             payload,
         });
-        EventId(seq)
+        self.live += 1;
+        EventId::new(self.slots[slot as usize].gen, slot)
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that already
     /// fired (or was already cancelled) is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let slot = &mut self.slots[id.slot() as usize];
+        if slot.gen == id.gen() && !slot.cancelled {
+            slot.cancelled = true;
+            self.live -= 1;
+        }
+    }
+
+    /// Recycle `slot` once its heap entry has been removed: bump the
+    /// generation so outstanding ids go stale, clear the cancel mark.
+    fn release_slot(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        let was_cancelled = s.cancelled;
+        s.gen = s.gen.wrapping_add(1);
+        s.cancelled = false;
+        self.free.push(slot);
+        was_cancelled
     }
 
     /// Remove and return the earliest live event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            let Reverse((at, seq)) = entry.key;
-            if self.cancelled.remove(&seq) {
+            let cancelled = self.release_slot(entry.slot);
+            if cancelled {
                 continue;
             }
+            let Reverse((at, _)) = entry.key;
             debug_assert!(at >= self.last_pop, "event queue went back in time");
             self.last_pop = at;
+            self.live -= 1;
             return Some((at, entry.payload));
         }
         None
@@ -108,10 +180,9 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<Time> {
         // Drain dead entries from the top so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            let Reverse((_, seq)) = entry.key;
-            if self.cancelled.contains(&seq) {
-                let Reverse((_, seq)) = self.heap.pop().expect("peeked").key;
-                self.cancelled.remove(&seq);
+            if self.slots[entry.slot as usize].cancelled {
+                let slot = self.heap.pop().expect("peeked").slot;
+                self.release_slot(slot);
             } else {
                 let Reverse((at, _)) = entry.key;
                 return Some(at);
@@ -126,9 +197,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of live (not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
     /// `true` if no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
     }
 }
 
@@ -197,5 +273,58 @@ mod tests {
         assert!(!q.is_empty());
         q.cancel(a);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_a_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), "a");
+        assert_eq!(q.pop(), Some((Time(1), "a")));
+        // "b" reuses a's slot (single-slot table); the stale handle must
+        // fail its generation check rather than kill the new event.
+        let b = q.push(Time(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((Time(2), "b")));
+        // And a live handle still cancels normally after recycling.
+        let c = q.push(Time(3), "c");
+        q.cancel(c);
+        q.cancel(b); // stale again: no-op
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_not_leaked() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..16 {
+                q.push(Time(round * 100 + i), i);
+            }
+            let cancel_every_other: Vec<_> = (0..16)
+                .map(|i| q.push(Time(round * 100 + 50 + i), i))
+                .collect();
+            for id in cancel_every_other.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.slots.len() <= 32,
+            "slot table grew past peak occupancy: {}",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn len_counts_live_events_only() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), ());
+        q.push(Time(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.raw_len(), 2, "cancelled entry still buffered");
+        q.pop();
+        assert_eq!(q.len(), 0);
     }
 }

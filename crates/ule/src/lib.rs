@@ -522,21 +522,28 @@ impl Scheduler for Ule {
 
     /// Core 0's periodic balancer (`sched_balance`, with the paper's fix
     /// for the FreeBSD bug \[1\] so it actually runs periodically).
-    fn balance_tick(&mut self, tasks: &mut TaskTable, cpu: CpuId, now: Time) -> Vec<CpuId> {
+    fn balance_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CpuId,
+        now: Time,
+        targets: &mut Vec<CpuId>,
+    ) {
         // An idle CPU's idle thread keeps retrying `tdq_idled` when the
         // timer interrupt wakes it, so work that becomes stealable later
         // (e.g. unpinned threads) is still picked up.
         if self.tdqs[cpu.index()].load == 0 {
             let mut stats = SelectStats::default();
             if self.idle_balance(tasks, cpu, now, &mut stats) {
-                return vec![cpu];
+                targets.push(cpu);
+                return;
             }
         }
         if !self.p.periodic_balance || cpu != CpuId(0) {
-            return Vec::new();
+            return;
         }
         if now < self.next_balance {
-            return Vec::new();
+            return;
         }
         let span = self
             .rng
@@ -549,7 +556,6 @@ impl Scheduler for Ule {
         // receiver is found."
         let n = self.topo.nr_cpus();
         let mut used = vec![false; n];
-        let mut targets = Vec::new();
         loop {
             let mut donor: Option<(usize, CpuId)> = None;
             let mut receiver: Option<(usize, CpuId)> = None;
@@ -585,7 +591,6 @@ impl Scheduler for Ule {
                 targets.push(rc);
             }
         }
-        targets
     }
 
     /// Idle stealing (`tdq_idled`): try the most loaded CPU sharing a
@@ -630,9 +635,9 @@ impl Scheduler for Ule {
         self.tdqs[cpu.index()].load
     }
 
-    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
+    fn queued_tids_into(&self, cpu: CpuId, out: &mut Vec<Tid>) {
         let tdq = &self.tdqs[cpu.index()];
-        tdq.interactive.iter().chain(tdq.batch.iter()).collect()
+        out.extend(tdq.interactive.iter().chain(tdq.batch.iter()));
     }
 
     fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot {

@@ -122,8 +122,14 @@ impl Scheduler for RandomPlacement {
     fn task_fork(&mut self, _t: &TaskTable, _c: Tid, _p: Option<Tid>, _n: Time) {}
     fn task_dead(&mut self, _t: &TaskTable, _tid: Tid, _n: Time) {}
 
-    fn balance_tick(&mut self, _t: &mut TaskTable, _cpu: CpuId, _n: Time) -> Vec<CpuId> {
-        Vec::new() // no balancing at all
+    fn balance_tick(
+        &mut self,
+        _t: &mut TaskTable,
+        _cpu: CpuId,
+        _n: Time,
+        _targets: &mut Vec<CpuId>,
+    ) {
+        // no balancing at all
     }
 
     fn idle_balance(
@@ -140,8 +146,8 @@ impl Scheduler for RandomPlacement {
         self.rqs[cpu.index()].len() + usize::from(self.curr[cpu.index()].is_some())
     }
 
-    fn queued_tids(&self, cpu: CpuId) -> Vec<Tid> {
-        self.rqs[cpu.index()].iter().copied().collect()
+    fn queued_tids_into(&self, cpu: CpuId, out: &mut Vec<Tid>) {
+        out.extend(self.rqs[cpu.index()].iter().copied());
     }
 
     fn snapshot(&self, _tasks: &TaskTable, _tid: Tid) -> TaskSnapshot {
