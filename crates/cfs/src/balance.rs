@@ -81,12 +81,16 @@ impl Cfs {
             .iter()
             .find(|g| g.contains(&cpu))
             .expect("cpu in its own domain");
+        // Offline CPUs neither balance nor count as idle candidates.
         for &c in local {
+            if !self.cpus[c.index()].online {
+                continue;
+            }
             if self.cpus[c.index()].h_nr == 0 {
                 return c == cpu;
             }
         }
-        local[0] == cpu
+        local.iter().find(|c| self.cpus[c.index()].online) == Some(&cpu)
     }
 
     /// One balancing pass of domain `di` with `dst` as the pulling CPU.

@@ -83,6 +83,9 @@ pub(crate) struct CpuRq {
     pub(crate) tw_sum: u64,
     /// Decaying runqueue load average (`cfs_rq->avg.load_avg`).
     pub(crate) load: RqLoad,
+    /// `false` while the CPU is hotplugged out: placement and balancing
+    /// must not put tasks here.
+    pub(crate) online: bool,
 }
 
 /// Per-CPU, per-domain balancing state.
@@ -106,6 +109,9 @@ pub struct Cfs {
     /// ticks; re-collecting the source rq into a fresh `Vec` each time was
     /// measurable in the event loop).
     pub(crate) scratch_tids: Vec<Tid>,
+    /// Per-CPU `min_vruntime` observed by the last [`Scheduler::audit`]
+    /// call, for the monotonicity invariant.
+    pub(crate) last_audit_min: Vec<u64>,
 }
 
 impl Cfs {
@@ -155,10 +161,12 @@ impl Cfs {
                     h_nr: 0,
                     tw_sum: 0,
                     load: RqLoad::default(),
+                    online: true,
                 })
                 .collect(),
             domains,
             scratch_tids: Vec::new(),
+            last_audit_min: vec![0; ncpu],
         }
     }
 
@@ -725,5 +733,73 @@ impl Scheduler for Cfs {
             timeslice_ns: None,
             ..Default::default()
         }
+    }
+
+    fn audit(&mut self, _tasks: &TaskTable, cpu: CpuId, _now: Time) -> Result<(), String> {
+        let c = &self.cpus[cpu.index()];
+
+        // min_vruntime must never go backward (the fairness clock).
+        let min = c.root.min_vruntime;
+        let last = self.last_audit_min[cpu.index()];
+        if min < last {
+            return Err(format!("root min_vruntime went backward: {last} -> {min}"));
+        }
+        self.last_audit_min[cpu.index()] = min;
+
+        // The hierarchy's task count must agree with h_nr, and the running
+        // task must be represented as the rq's curr entity at each level.
+        let ent_tasks = |key: EntKey| -> usize {
+            match key {
+                EntKey::Task(_) => 1,
+                EntKey::Group(g) => self.groups[g.index()].per_cpu[cpu.index()].rq.nr,
+            }
+        };
+        let mut n = 0usize;
+        for &(_, key) in c.root.iter() {
+            if let EntKey::Group(g) = key {
+                let gc = &self.groups[g.index()].per_cpu[cpu.index()];
+                if gc.rq.curr.is_some() {
+                    return Err(format!("queued group entity {g:?} has a running child"));
+                }
+            }
+            n += ent_tasks(key);
+        }
+        if let Some(key) = c.root.curr {
+            n += ent_tasks(key);
+        }
+        if n != c.h_nr {
+            return Err(format!(
+                "h_nr accounting drifted: h_nr={} but hierarchy holds {n} task(s)",
+                c.h_nr
+            ));
+        }
+        match (c.curr, c.root.curr) {
+            (None, None) => {}
+            (None, Some(k)) => return Err(format!("no running task but root curr is {k:?}")),
+            (Some(t), None) => return Err(format!("{t} runs but no root curr entity is set")),
+            (Some(t), Some(EntKey::Task(rt))) => {
+                if t != rt {
+                    return Err(format!("running {t} but root curr is {rt}"));
+                }
+            }
+            (Some(t), Some(EntKey::Group(g))) => {
+                let gc = &self.groups[g.index()].per_cpu[cpu.index()];
+                if gc.rq.curr != Some(EntKey::Task(t)) {
+                    return Err(format!(
+                        "running {t} but group {g:?} curr is {:?}",
+                        gc.rq.curr
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cpu_offline(&mut self, cpu: CpuId) {
+        self.cpus[cpu.index()].online = false;
+    }
+
+    fn cpu_online(&mut self, cpu: CpuId) {
+        self.cpus[cpu.index()].online = true;
     }
 }

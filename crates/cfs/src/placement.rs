@@ -51,10 +51,12 @@ impl Cfs {
                 // CPU that just became busy is not mistaken for idle.
                 let task = tasks.get(tid);
                 let target = if task.allowed_on(waking_cpu)
-                    && self.cpus[waking_cpu.index()].tw_sum < self.cpus[prev.index()].tw_sum
+                    && self.cpus[waking_cpu.index()].online
+                    && (self.cpus[waking_cpu.index()].tw_sum < self.cpus[prev.index()].tw_sum
+                        || !self.cpus[prev.index()].online)
                 {
                     waking_cpu
-                } else if task.allowed_on(prev) {
+                } else if task.allowed_on(prev) && self.cpus[prev.index()].online {
                     prev
                 } else {
                     self.first_allowed(tasks, tid)
@@ -81,8 +83,8 @@ impl Cfs {
         let task = tasks.get(tid);
         self.topo
             .all_cpus()
-            .find(|&c| task.allowed_on(c))
-            .expect("task with empty affinity mask")
+            .find(|&c| task.allowed_on(c) && self.cpus[c.index()].online)
+            .expect("task with no online CPU in its affinity mask")
     }
 
     /// Track whether `waker` keeps waking the same task or many different
@@ -125,16 +127,17 @@ impl Cfs {
     ) -> CpuId {
         let task = tasks.get(tid);
         stats.cpus_scanned += 1;
-        if task.allowed_on(target) && self.cpus[target.index()].h_nr == 0 {
+        let ok = |c: CpuId| task.allowed_on(c) && self.cpus[c.index()].online;
+        if ok(target) && self.cpus[target.index()].h_nr == 0 {
             return target;
         }
         for &c in self.topo.llc_cpus(target) {
             stats.cpus_scanned += 1;
-            if c != target && task.allowed_on(c) && self.cpus[c.index()].h_nr == 0 {
+            if c != target && ok(c) && self.cpus[c.index()].h_nr == 0 {
                 return c;
             }
         }
-        if task.allowed_on(target) {
+        if ok(target) {
             target
         } else {
             self.first_allowed(tasks, tid)
@@ -158,7 +161,7 @@ impl Cfs {
         let mut best: Option<(u64, CpuId)> = None;
         let all: Vec<CpuId> = self.topo.all_cpus().collect();
         for c in all {
-            if !task.allowed_on(c) {
+            if !task.allowed_on(c) || !self.cpus[c.index()].online {
                 continue;
             }
             self.refresh_load(c, now);

@@ -31,6 +31,9 @@ pub struct BenchResult {
     pub sim_ms_per_real_ms: f64,
     /// Context switches simulated (work-volume sanity check).
     pub ctx_switches: u64,
+    /// Longest any task sat runnable-but-not-running (ms of simulated
+    /// time) — the scheduling-latency/starvation headline number.
+    pub max_runnable_wait_ms: f64,
 }
 
 /// The full benchmark report.
@@ -75,6 +78,7 @@ pub fn run(cfg: &RunCfg) -> BenchReport {
             events_per_sec: events as f64 / wall,
             sim_ms_per_real_ms: sim_secs * 1e3 / (wall * 1e3),
             ctx_switches: k.counters().ctx_switches,
+            max_runnable_wait_ms: k.counters().max_runnable_wait.as_secs_f64() * 1e3,
         });
     }
     BenchReport {
@@ -93,6 +97,7 @@ pub fn report(r: &BenchReport) -> String {
         "events",
         "events/s",
         "sim-ms per real-ms",
+        "max wait ms",
     ]);
     for b in &r.results {
         t.push(&[
@@ -102,6 +107,7 @@ pub fn report(r: &BenchReport) -> String {
             format!("{}", b.events),
             format!("{:.0}", b.events_per_sec),
             format!("{:.1}", b.sim_ms_per_real_ms),
+            format!("{:.2}", b.max_runnable_wait_ms),
         ]);
     }
     let mut s = String::from("Simulator throughput (busy 32-core machine, 64 CPU hogs)\n");

@@ -2,29 +2,43 @@
 //!
 //! ```text
 //! battle <experiment> [--scale S] [--seed N] [--json PATH] [--threads N]
+//!                     [--check strict|off]
 //!
 //! experiments: table1 fig1 fig2 table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!              ablations desktop bench all
+//!              ablations desktop bench fuzz all
 //! ```
 //!
 //! `--scale` shrinks work volumes (default 1.0 = paper-sized runs; use
 //! e.g. 0.1 for a quick pass). `--threads` sets the simulation worker-pool
 //! size (default: all available cores); output is byte-identical whatever
-//! the value. Results print as ASCII tables/charts and can additionally be
+//! the value. `--check strict` turns on SchedSan, the runtime invariant
+//! checker: every kernel event is followed by a full consistency audit, and
+//! a violation writes a crash bundle under `results/crash/` and exits
+//! nonzero. Results print as ASCII tables/charts and can additionally be
 //! dumped as JSON. `bench` measures the simulator's own wall-clock
 //! throughput and writes `BENCH_sim.json`.
+//!
+//! `fuzz` runs randomized workload/fault/topology combinations under both
+//! schedulers with strict checking (see `experiments::fuzz`):
+//!
+//! ```text
+//! battle fuzz [--cases N] [--seed N] [--sched cfs|ule|both]
+//!             [--faults on|off] [--parts MASK] [--case-seed HEX]
+//! ```
 
 use std::io::Write;
 
 use experiments::{
-    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, runner, table1,
-    table2, RunCfg,
+    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz, runner,
+    table1, table2, RunCfg, Sched,
 };
+use kernel::CheckMode;
 
 struct Args {
     experiment: String,
     cfg: RunCfg,
     json: Option<String>,
+    fuzz: fuzz::FuzzCfg,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,8 +46,49 @@ fn parse_args() -> Result<Args, String> {
     let experiment = args.next().ok_or_else(usage)?;
     let mut cfg = RunCfg::default();
     let mut json = None;
+    let mut fz = fuzz::FuzzCfg::default();
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--check" => {
+                let v = args.next().ok_or("missing value for --check")?;
+                match v.as_str() {
+                    "strict" => experiments::set_check_mode(CheckMode::Strict),
+                    "off" => experiments::set_check_mode(CheckMode::Off),
+                    other => return Err(format!("bad --check: {other} (strict|off)")),
+                }
+            }
+            "--cases" => {
+                let v = args.next().ok_or("missing value for --cases")?;
+                fz.cases = v.parse().map_err(|e| format!("bad --cases: {e}"))?;
+            }
+            "--sched" => {
+                let v = args.next().ok_or("missing value for --sched")?;
+                fz.scheds = match v.as_str() {
+                    "cfs" => vec![Sched::Cfs],
+                    "ule" => vec![Sched::Ule],
+                    "both" => Sched::BOTH.to_vec(),
+                    other => return Err(format!("bad --sched: {other} (cfs|ule|both)")),
+                };
+            }
+            "--faults" => {
+                let v = args.next().ok_or("missing value for --faults")?;
+                fz.faults = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --faults: {other} (on|off)")),
+                };
+            }
+            "--parts" => {
+                let v = args.next().ok_or("missing value for --parts")?;
+                fz.parts = v.parse().map_err(|e| format!("bad --parts: {e}"))?;
+            }
+            "--case-seed" => {
+                let v = args.next().ok_or("missing value for --case-seed")?;
+                let hex = v.trim_start_matches("0x");
+                fz.case_seed = Some(
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("bad --case-seed: {e}"))?,
+                );
+            }
             "--scale" => {
                 let v = args.next().ok_or("missing value for --scale")?;
                 cfg.scale = v.parse().map_err(|e| format!("bad --scale: {e}"))?;
@@ -54,16 +109,19 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
+    fz.seed = cfg.seed;
     Ok(Args {
         experiment,
         cfg,
         json,
+        fuzz: fz,
     })
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|all> \
-     [--scale S] [--seed N] [--json PATH] [--threads N]"
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|all> \
+     [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
+     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX]"
         .to_string()
 }
 
@@ -95,8 +153,9 @@ fn print_validation(name: &str, problems: Vec<String>) {
     }
 }
 
-/// Run one experiment; returns `false` if a requested JSON dump failed.
-fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>) -> bool {
+/// Run one experiment; returns `false` if a requested JSON dump failed or
+/// (for `fuzz`) an invariant violation was found.
+fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>, fz: &fuzz::FuzzCfg) -> bool {
     let ok = match name {
         "table1" => {
             print!("{}", table1::report());
@@ -168,6 +227,11 @@ fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>) -> bool {
             print_validation("desktop", desktop::validate(&d));
             dump_json(json, &d)
         }
+        "fuzz" => {
+            let r = fuzz::run(fz);
+            print!("{}", fuzz::report(&r));
+            dump_json(json, &r) && r.failures.is_empty()
+        }
         "bench" => {
             let r = bench::run(cfg);
             print!("{}", bench::report(&r));
@@ -214,11 +278,12 @@ fn main() {
                 name,
                 &args.cfg,
                 &args.json.as_ref().map(|p| format!("{p}.{name}.json")),
+                &args.fuzz,
             );
             println!();
         }
     } else {
-        ok = run_one(&args.experiment, &args.cfg, &args.json);
+        ok = run_one(&args.experiment, &args.cfg, &args.json, &args.fuzz);
     }
     if !ok {
         std::process::exit(1);

@@ -1,0 +1,112 @@
+//! Crash bundles: diagnostics written when SchedSan detects an invariant
+//! violation.
+//!
+//! A violation surfaces as a [`kernel::SimError`] from `try_run_*`. Instead
+//! of a bare panic message, the `battle` CLI degrades gracefully: it writes
+//! a *crash bundle* under `results/crash/` — the full
+//! [`kernel::Kernel::crash_report`] (error, seed, counters, per-CPU state,
+//! live tasks, trace tail) plus a one-line replay command — prints where the
+//! bundle went, and exits nonzero.
+
+use std::path::PathBuf;
+
+use kernel::{Kernel, SimError};
+
+/// Everything needed to diagnose and replay one failed simulation.
+#[derive(Debug, Clone)]
+pub struct Crash {
+    /// Short identifier, e.g. `"fibo-CFS"` or `"fuzz-0007-ULE"`.
+    pub label: String,
+    /// The violated invariant, rendered.
+    pub error: String,
+    /// The full diagnostic report (see [`Kernel::crash_report`]).
+    pub report: String,
+    /// Command line that reproduces the failure.
+    pub replay: String,
+}
+
+impl Crash {
+    /// Capture the kernel's post-mortem state for `err`.
+    pub fn capture(k: &Kernel, err: &SimError, label: &str, replay: &str) -> Crash {
+        Crash {
+            label: label.to_string(),
+            error: err.to_string(),
+            report: k.crash_report(err),
+            replay: replay.to_string(),
+        }
+    }
+
+    /// The bundle as written to disk.
+    pub fn render(&self) -> String {
+        format!("{}\nreplay: {}\n", self.report, self.replay)
+    }
+
+    /// Write the bundle to `results/crash/<label>.txt` (label sanitized),
+    /// creating the directory as needed.
+    pub fn write_bundle(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results").join("crash");
+        std::fs::create_dir_all(&dir)?;
+        let safe: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{safe}.txt"));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Terminal failure path of the CLI: persist the bundle, print a
+    /// summary, exit nonzero.
+    pub fn bail(&self) -> ! {
+        eprintln!(
+            "scheduler invariant violated in {}: {}",
+            self.label, self.error
+        );
+        match self.write_bundle() {
+            Ok(p) => eprintln!("crash bundle written to {}", p.display()),
+            Err(e) => {
+                eprintln!(
+                    "cannot write crash bundle: {e}; dumping to stderr\n{}",
+                    self.render()
+                );
+            }
+        }
+        eprintln!("replay: {}", self.replay);
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel::{SimConfig, SimpleRR};
+    use simcore::Time;
+    use topology::Topology;
+
+    #[test]
+    fn capture_and_render_include_replay() {
+        let topo = Topology::single_core();
+        let k = Kernel::new(
+            topo.clone(),
+            SimConfig::with_seed(7),
+            Box::new(SimpleRR::new(&topo)),
+        );
+        let err = SimError::Invariant {
+            at: Time::ZERO,
+            detail: "synthetic".into(),
+        };
+        let c = Crash::capture(&k, &err, "unit-test", "battle fuzz --seed 7 --cases 1");
+        assert!(c.render().contains("synthetic"));
+        assert!(c
+            .render()
+            .contains("replay: battle fuzz --seed 7 --cases 1"));
+        assert!(c.render().contains("seed"));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod crash;
 pub mod desktop;
 pub mod fig1;
 pub mod fig2;
@@ -37,16 +38,39 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fuzz;
 pub mod runner;
 pub mod table1;
 pub mod table2;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use cfs::Cfs;
-use kernel::{AppId, AppSpec, Kernel, SimConfig};
+use kernel::{AppId, AppSpec, CheckMode, Kernel, SimConfig};
 use simcore::{Dur, Time};
 use topology::Topology;
 use ule::Ule;
 use workloads::{Entry, Metric, P};
+
+/// Global SchedSan switch (the `battle --check strict` flag). Like the
+/// worker-pool size in [`runner`], it is process-global so every driver's
+/// kernels pick it up without threading a parameter through each figure.
+static CHECK_STRICT: AtomicBool = AtomicBool::new(false);
+
+/// Turn strict invariant checking on/off for every kernel built by
+/// [`make_kernel`] from now on.
+pub fn set_check_mode(mode: CheckMode) {
+    CHECK_STRICT.store(mode == CheckMode::Strict, Ordering::Relaxed);
+}
+
+/// The SchedSan mode currently in effect.
+pub fn check_mode() -> CheckMode {
+    if CHECK_STRICT.load(Ordering::Relaxed) {
+        CheckMode::Strict
+    } else {
+        CheckMode::Off
+    }
+}
 
 /// Which scheduler drives a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -100,7 +124,12 @@ impl RunCfg {
 
 /// Build a kernel for `topo` driven by `sched`.
 pub fn make_kernel(topo: &Topology, sched: Sched, seed: u64) -> Kernel {
-    let cfg = SimConfig::with_seed(seed);
+    let mut cfg = SimConfig::with_seed(seed);
+    cfg.check = check_mode();
+    if cfg.check == CheckMode::Strict {
+        // Keep a flight-recorder tail so a crash bundle has context.
+        cfg.trace_capacity = cfg.trace_capacity.max(256);
+    }
     let class: Box<dyn sched_api::Scheduler> = match sched {
         Sched::Cfs => Box::new(Cfs::new(topo)),
         Sched::Ule => Box::new(Ule::with_params(
@@ -139,6 +168,21 @@ pub fn run_entry(
     cfg: &RunCfg,
     with_noise: bool,
 ) -> PerfResult {
+    match try_run_entry(entry, sched, topo, cfg, with_noise) {
+        Ok(r) => r,
+        Err(c) => c.bail(),
+    }
+}
+
+/// Like [`run_entry`], but an invariant violation (strict mode) comes back
+/// as a [`crash::Crash`] instead of aborting the process.
+pub fn try_run_entry(
+    entry: &Entry,
+    sched: Sched,
+    topo: &Topology,
+    cfg: &RunCfg,
+    with_noise: bool,
+) -> Result<PerfResult, crash::Crash> {
     let mut k = make_kernel(topo, sched, cfg.seed);
     let p = P::scaled(topo.nr_cpus(), cfg.scale);
     let mut start = Time::ZERO;
@@ -155,8 +199,15 @@ pub fn run_entry(
     // A generous limit: suite apps are sized for tens of simulated seconds
     // at scale 1.
     let limit = Time::ZERO + Dur::secs_f64(600.0 * cfg.scale.max(0.05) + 120.0);
-    let done = k.run_until_apps_done(limit);
-    perf_of(entry, &k, app, done)
+    let done = k.try_run_until_apps_done(limit).map_err(|e| {
+        let label = format!("{}-{}", entry.name, sched.name());
+        let replay = format!(
+            "battle <experiment> --seed {} --scale {} --check strict",
+            cfg.seed, cfg.scale
+        );
+        crash::Crash::capture(&k, &e, &label, &replay)
+    })?;
+    Ok(perf_of(entry, &k, app, done))
 }
 
 /// Compute the §5.3 performance number for a finished (or timed-out) app.

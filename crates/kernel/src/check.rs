@@ -1,0 +1,264 @@
+//! SchedSan: the runtime invariant checker.
+//!
+//! With [`crate::CheckMode::Strict`] the kernel runs the full catalog below
+//! after *every* event, so the first event that corrupts scheduler state is
+//! the one that reports it — not a mysterious crash a million events later.
+//!
+//! # Invariant catalog
+//!
+//! 1. **Task conservation** — every live task is in exactly one of the
+//!    states {running on exactly one CPU, queued on exactly one runqueue,
+//!    sleeping off all runqueues}; no task is lost or double-booked.
+//! 2. **Runqueue-count consistency** — [`sched_api::Scheduler::nr_queued`]
+//!    equals the tasks actually enumerated by
+//!    [`sched_api::Scheduler::queued_tids_into`] plus the running task.
+//! 3. **Affinity** — every queued or running task is on a CPU its hard
+//!    affinity mask allows.
+//! 4. **Hotplug** — an offline CPU runs nothing and queues nothing.
+//! 5. **Bounded starvation** — no runnable task has waited longer than
+//!    [`crate::SimConfig::starvation_limit`] for a CPU.
+//! 6. **Scheduler self-audit** — class-specific invariants via
+//!    [`sched_api::Scheduler::audit`] (CFS vruntime monotonicity, ULE
+//!    priority-range validity, internal accounting).
+//!
+//! The checker allocates nothing in steady state: it reuses two scratch
+//! buffers owned by the kernel. When checking is off ([`crate::CheckMode::Off`],
+//! the default) the per-event cost is a single predicted-not-taken branch.
+
+use sched_api::{TaskState, Tid};
+
+use crate::error::SimError;
+use crate::kernel::Kernel;
+
+/// `seen` markers for the conservation check.
+const SEEN_NONE: u8 = 0;
+const SEEN_QUEUED: u8 = 1;
+const SEEN_RUNNING: u8 = 2;
+
+impl Kernel {
+    /// Run the full invariant catalog. Called after every event in strict
+    /// mode; also usable directly by tests.
+    pub(crate) fn run_checks(&mut self) -> Result<(), SimError> {
+        let mut tids = std::mem::take(&mut self.check_tids);
+        let mut seen = std::mem::take(&mut self.check_seen);
+        let res = self.check_all(&mut tids, &mut seen);
+        self.check_tids = tids;
+        self.check_seen = seen;
+        res
+    }
+
+    fn invariant(&self, detail: String) -> SimError {
+        SimError::Invariant {
+            at: self.now,
+            detail,
+        }
+    }
+
+    fn check_all(&mut self, tids: &mut Vec<Tid>, seen: &mut Vec<u8>) -> Result<(), SimError> {
+        seen.clear();
+        seen.resize(self.tasks.slab_len(), SEEN_NONE);
+
+        for i in 0..self.cpus.len() {
+            let cpu = topology::CpuId(i as u32);
+            let online = self.cpus[i].online;
+            let current = self.cpus[i].current;
+
+            if let Some(tid) = current {
+                if !online {
+                    return Err(self.invariant(format!("offline {cpu} is running {tid}")));
+                }
+                let t = self.tasks.get(tid);
+                if t.state != TaskState::Running {
+                    return Err(self
+                        .invariant(format!("{cpu} current {tid} is {:?}, not Running", t.state)));
+                }
+                if t.cpu != cpu {
+                    return Err(
+                        self.invariant(format!("{cpu} current {tid} thinks it is on {}", t.cpu))
+                    );
+                }
+                if !t.allowed_on(cpu) {
+                    return Err(SimError::AffinityViolated {
+                        tid,
+                        cpu,
+                        at: self.now,
+                    });
+                }
+                if seen[tid.index()] != SEEN_NONE {
+                    return Err(self.invariant(format!("{tid} is running on two CPUs")));
+                }
+                seen[tid.index()] = SEEN_RUNNING;
+            }
+
+            tids.clear();
+            self.sched.queued_tids_into(cpu, tids);
+            if !online && !tids.is_empty() {
+                return Err(
+                    self.invariant(format!("offline {cpu} still queues {} task(s)", tids.len()))
+                );
+            }
+            for &tid in tids.iter() {
+                let t = self.tasks.get(tid);
+                if t.state != TaskState::Runnable {
+                    return Err(self.invariant(format!(
+                        "{cpu} queues {tid} in state {:?}, not Runnable",
+                        t.state
+                    )));
+                }
+                if !t.on_rq {
+                    return Err(
+                        self.invariant(format!("{cpu} queues {tid} but its on_rq flag is clear"))
+                    );
+                }
+                if t.cpu != cpu {
+                    return Err(self.invariant(format!(
+                        "{cpu} queues {tid} but the task thinks it is on {}",
+                        t.cpu
+                    )));
+                }
+                if !t.allowed_on(cpu) {
+                    return Err(SimError::AffinityViolated {
+                        tid,
+                        cpu,
+                        at: self.now,
+                    });
+                }
+                match seen[tid.index()] {
+                    SEEN_NONE => seen[tid.index()] = SEEN_QUEUED,
+                    SEEN_QUEUED => {
+                        return Err(self.invariant(format!("{tid} is queued on two runqueues")))
+                    }
+                    _ => return Err(self.invariant(format!("{tid} is both running and queued"))),
+                }
+            }
+
+            let expected = tids.len() + usize::from(current.is_some());
+            let reported = self.sched.nr_queued(cpu);
+            if reported != expected {
+                return Err(self.invariant(format!(
+                    "{cpu} nr_queued reports {reported} but {expected} task(s) are accounted \
+                     ({} queued + {} running)",
+                    tids.len(),
+                    usize::from(current.is_some())
+                )));
+            }
+
+            self.sched
+                .audit(&self.tasks, cpu, self.now)
+                .map_err(|detail| self.invariant(format!("{cpu} audit: {detail}")))?;
+        }
+
+        // Conservation sweep: every task's lifecycle state must agree with
+        // where (and whether) the runqueues hold it.
+        let limit = self.cfg.starvation_limit;
+        for t in self.tasks.iter() {
+            let s = seen[t.tid.index()];
+            match t.state {
+                TaskState::Running => {
+                    if s != SEEN_RUNNING {
+                        return Err(self.invariant(format!(
+                            "{} is Running but no CPU is executing it",
+                            t.tid
+                        )));
+                    }
+                }
+                TaskState::Runnable => {
+                    if s != SEEN_QUEUED {
+                        return Err(self.invariant(format!(
+                            "{} is Runnable but sits in no runqueue (lost task)",
+                            t.tid
+                        )));
+                    }
+                    let waited_since = if t.last_ran > t.last_wakeup {
+                        t.last_ran
+                    } else {
+                        t.last_wakeup
+                    };
+                    let wait = self.now.saturating_since(waited_since);
+                    if wait > limit {
+                        return Err(self.invariant(format!(
+                            "{} runnable-but-unscheduled for {wait} (limit {limit})",
+                            t.tid
+                        )));
+                    }
+                }
+                TaskState::New | TaskState::Sleeping | TaskState::Dead => {
+                    if s != SEEN_NONE {
+                        return Err(self.invariant(format!(
+                            "{} is {:?} but still present in scheduler structures",
+                            t.tid, t.state
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render a human-readable crash bundle: the error, the run's identity
+    /// (scheduler, seed, time), global counters, per-CPU scheduler state,
+    /// the live task table, and the tail of the flight-recorder trace.
+    /// Drivers write this next to a replay command when a
+    /// [`SimError`] escapes the event loop.
+    pub fn crash_report(&self, err: &SimError) -> String {
+        use std::fmt::Write as _;
+        let mut r = String::new();
+        let _ = writeln!(r, "SchedSan crash report");
+        let _ = writeln!(r, "=====================");
+        let _ = writeln!(r, "error:     {err}");
+        let _ = writeln!(r, "scheduler: {}", self.sched.name());
+        let _ = writeln!(r, "seed:      {}", self.cfg.seed);
+        let _ = writeln!(r, "sim time:  {}", self.now);
+        let c = &self.counters;
+        let _ = writeln!(
+            r,
+            "counters:  events={} ctx_switches={} preemptions={} wakeups={} migrations={} \
+             spurious_wakes={} hotplug_events={} max_runnable_wait={}",
+            c.events,
+            c.ctx_switches,
+            c.preemptions,
+            c.wakeups,
+            c.migrations,
+            c.spurious_wakes,
+            c.hotplug_events,
+            c.max_runnable_wait
+        );
+        let _ = writeln!(r, "\nper-CPU state:");
+        for i in 0..self.cpus.len() {
+            let cpu = topology::CpuId(i as u32);
+            let cs = &self.cpus[i];
+            let queued = self.sched.queued_tids(cpu);
+            let _ = writeln!(
+                r,
+                "  {cpu}: {} current={} nr_queued={} queued={:?}",
+                if cs.online { "online" } else { "OFFLINE" },
+                cs.current.map_or("-".into(), |t| t.to_string()),
+                self.sched.nr_queued(cpu),
+                queued
+            );
+        }
+        let _ = writeln!(r, "\nlive tasks:");
+        for t in self.tasks.iter() {
+            if t.state == TaskState::Dead {
+                continue;
+            }
+            let _ = writeln!(
+                r,
+                "  {} {:?} cpu={} last_cpu={} on_rq={} nice={} affinity={:?} name={}",
+                t.tid, t.state, t.cpu, t.last_cpu, t.on_rq, t.nice, t.affinity, t.name
+            );
+        }
+        if !self.trace.is_empty() {
+            let _ = writeln!(
+                r,
+                "\ntrace tail ({} events, {} dropped):",
+                self.trace.len(),
+                self.trace.dropped()
+            );
+            for ev in self.trace.iter() {
+                let _ = writeln!(r, "  {ev:?}");
+            }
+        }
+        r
+    }
+}

@@ -2,6 +2,20 @@
 
 use simcore::Dur;
 
+use crate::fault::FaultPlan;
+
+/// How much runtime invariant checking (SchedSan) to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// No checking; zero overhead on the event loop.
+    #[default]
+    Off,
+    /// Run the full invariant catalog after every event: task
+    /// conservation, runqueue-count consistency, affinity, bounded
+    /// starvation, and the scheduler's own [`sched_api::Scheduler::audit`].
+    Strict,
+}
+
 /// Tunable costs and knobs of the simulated machine/kernel.
 ///
 /// Defaults are chosen to be in the right order of magnitude for the paper's
@@ -32,6 +46,19 @@ pub struct SimConfig {
     pub trace_capacity: usize,
     /// Safety valve: maximum zero-time actions a behavior may emit in a row.
     pub max_instant_actions: u32,
+    /// Runtime invariant checking (SchedSan). [`CheckMode::Off`] by
+    /// default; the kernel caches the flag so the disabled path costs
+    /// nothing on the event loop.
+    pub check: CheckMode,
+    /// Bounded-starvation limit enforced in strict mode: no runnable task
+    /// may sit unscheduled for longer than this. Generous by default
+    /// because ULE legitimately starves batch tasks for long stretches
+    /// (§5.1 of the paper: a nice-0 hog can wait seconds behind
+    /// interactive threads).
+    pub starvation_limit: Dur,
+    /// Fault injection plan (spurious wakeups, tick jitter, hotplug).
+    /// Inert by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -45,6 +72,9 @@ impl Default for SimConfig {
             preempt_penalty: Dur::micros(40),
             trace_capacity: 0,
             max_instant_actions: 1_000_000,
+            check: CheckMode::Off,
+            starvation_limit: Dur::secs(10),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -81,6 +111,14 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.tick, Dur::millis(1));
         assert!(c.ctx_switch_cost < c.tick);
+    }
+
+    #[test]
+    fn schedsan_is_off_by_default() {
+        let c = SimConfig::default();
+        assert_eq!(c.check, CheckMode::Off);
+        assert!(!c.faults.active());
+        assert!(c.starvation_limit >= Dur::secs(1));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Structured simulation errors (SchedSan).
+//!
+//! Historically the kernel's internal consistency checks were bare
+//! `expect`/`panic!` calls deep in the event loop: a scheduler bug aborted
+//! the process with no context. [`SimError`] replaces them with a typed
+//! error carrying the task, CPU and simulated time where the inconsistency
+//! was detected. It propagates out of [`crate::Kernel::try_run_until`] /
+//! [`crate::Kernel::try_run_until_apps_done`] so drivers can degrade
+//! gracefully: write a crash bundle ([`crate::Kernel::crash_report`]),
+//! exit nonzero, and leave a replay command instead of a backtrace.
+
+use sched_api::Tid;
+use simcore::Time;
+use topology::CpuId;
+
+/// A fatal inconsistency detected by the simulated kernel or by the
+/// SchedSan invariant checker ([`crate::check`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A task id referenced by the event loop has no runtime state
+    /// (the per-task slot was never populated or was torn down early).
+    TaskStateLost {
+        /// The task whose state vanished.
+        tid: Tid,
+        /// When the lookup failed.
+        at: Time,
+    },
+    /// The event queue claimed to have a next event but none could be
+    /// popped (internal queue corruption).
+    EventQueueCorrupt {
+        /// Simulated time when the pop failed.
+        at: Time,
+    },
+    /// A CPU that should have a current task has none.
+    NoCurrent {
+        /// The CPU missing its current task.
+        cpu: CpuId,
+        /// When the inconsistency was detected.
+        at: Time,
+    },
+    /// The scheduler handed the kernel a task that is blocked or dead.
+    PickedBlockedTask {
+        /// The unrunnable task that was picked.
+        tid: Tid,
+        /// The CPU it was picked on.
+        cpu: CpuId,
+        /// When it was picked.
+        at: Time,
+    },
+    /// A behaviour emitted more consecutive zero-time actions than
+    /// [`crate::SimConfig::max_instant_actions`] allows (infinite loop).
+    RunawayBehavior {
+        /// The CPU interpreting the behaviour.
+        cpu: CpuId,
+        /// When the limit tripped.
+        at: Time,
+        /// The configured limit that was exceeded.
+        actions: u32,
+    },
+    /// The scheduler placed a task on a CPU outside its affinity mask.
+    AffinityViolated {
+        /// The misplaced task.
+        tid: Tid,
+        /// The disallowed CPU it was placed on.
+        cpu: CpuId,
+        /// When the placement happened.
+        at: Time,
+    },
+    /// A SchedSan invariant check failed (task conservation, runqueue
+    /// counts, starvation bound, scheduler self-audit, ...).
+    Invariant {
+        /// When the check failed.
+        at: Time,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TaskStateLost { tid, at } => {
+                write!(f, "[{at}] runtime state of {tid} lost")
+            }
+            SimError::EventQueueCorrupt { at } => {
+                write!(f, "[{at}] event queue corrupt: peeked event vanished")
+            }
+            SimError::NoCurrent { cpu, at } => {
+                write!(f, "[{at}] {cpu} has no current task where one is required")
+            }
+            SimError::PickedBlockedTask { tid, cpu, at } => {
+                write!(
+                    f,
+                    "[{at}] scheduler picked blocked/dead task {tid} on {cpu}"
+                )
+            }
+            SimError::RunawayBehavior { cpu, at, actions } => {
+                write!(
+                    f,
+                    "[{at}] behavior on {cpu} emitted more than {actions} zero-time actions"
+                )
+            }
+            SimError::AffinityViolated { tid, cpu, at } => {
+                write!(
+                    f,
+                    "[{at}] scheduler violated affinity of {tid}: placed on {cpu}"
+                )
+            }
+            SimError::Invariant { at, detail } => {
+                write!(f, "[{at}] invariant violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SimError::PickedBlockedTask {
+            tid: Tid(7),
+            cpu: CpuId(3),
+            at: Time(1_000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tid7"), "{s}");
+        assert!(s.contains("cpu3"), "{s}");
+    }
+
+    #[test]
+    fn invariant_detail_shown() {
+        let e = SimError::Invariant {
+            at: Time::ZERO,
+            detail: "task T1 queued twice".into(),
+        };
+        assert!(e.to_string().contains("task T1 queued twice"));
+    }
+}

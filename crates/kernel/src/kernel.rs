@@ -34,9 +34,11 @@ use topology::{CpuId, Topology};
 use crate::behavior::{
     Action, BarrierId, Behavior, Ctx, MutexId, PoolId, QueueId, SemId, ThreadSpec,
 };
-use crate::config::SimConfig;
+use crate::config::{CheckMode, SimConfig};
+use crate::error::SimError;
+use crate::fault::FaultOp;
 use crate::stats::{AppStats, Counters, CpuStats, DecisionHash};
-use crate::sync::{OpOutcome, SyncTable};
+use crate::sync::{BlockedOn, OpOutcome, SyncTable};
 use crate::trace::TraceEvent;
 
 /// Identifier of an application (a spawned [`AppSpec`]).
@@ -73,14 +75,14 @@ impl AppSpec {
 }
 
 /// Deferred control operations, scheduled at absolute times.
-enum ControlOp {
+pub(crate) enum ControlOp {
     StartApp(AppId, Vec<ThreadSpec>),
     /// Clear the affinity mask of every task of an app (the `taskset`
     /// command in the Figure 6 experiment).
     UnpinApp(AppId),
 }
 
-enum Event {
+pub(crate) enum Event {
     /// Per-CPU scheduler tick.
     Tick(CpuId),
     /// The current run segment of `cpu` completed (if `gen` is current).
@@ -99,10 +101,12 @@ enum Event {
     Continue(Tid),
     /// Deferred control operation.
     Control(ControlOp),
+    /// Fault injection (spurious wakeup, hotplug).
+    Fault(FaultOp),
 }
 
 /// Where a task stands in its behaviour program.
-enum Cont {
+pub(crate) enum Cont {
     /// Ask the behaviour for the next action.
     NeedAction,
     /// Partially executed run segment.
@@ -111,29 +115,40 @@ enum Cont {
     Spin { barrier: BarrierId, generation: u64 },
     /// Blocked on a synchronisation object or timer.
     Blocked,
+    /// Spuriously woken out of a blocking operation that has not completed:
+    /// re-execute it at the next dispatch (and possibly re-block).
+    Retry(BlockedOn),
     /// Exited.
     Done,
 }
 
 /// Per-task kernel-side runtime state (behaviour + continuation).
-struct TaskRt {
-    behavior: Option<Box<dyn Behavior>>,
-    cont: Cont,
-    rng: SimRng,
+pub(crate) struct TaskRt {
+    pub(crate) behavior: Option<Box<dyn Behavior>>,
+    pub(crate) cont: Cont,
+    pub(crate) rng: SimRng,
     /// Value delivered by the last queue get.
-    pending_value: Option<u64>,
+    pub(crate) pending_value: Option<u64>,
     /// Application this task belongs to.
-    app: AppId,
+    pub(crate) app: AppId,
     /// Detached threads don't count toward app completion.
-    detached: bool,
+    pub(crate) detached: bool,
+    /// What the task is blocked on while `cont` is [`Cont::Blocked`]
+    /// (the record fault injection needs to wake it spuriously).
+    pub(crate) blocked_on: Option<BlockedOn>,
 }
 
 /// Per-CPU execution state.
-struct Cpu {
-    current: Option<Tid>,
+pub(crate) struct Cpu {
+    pub(crate) current: Option<Tid>,
+    /// `false` while hotplugged out by fault injection.
+    pub(crate) online: bool,
+    /// Whether a tick event for this CPU is in flight (so hotplug
+    /// online/offline cycles never double-arm the tick chain).
+    pub(crate) tick_armed: bool,
     /// Task that ran most recently (to skip context-switch cost when a task
     /// is re-picked immediately).
-    last_tid: Option<Tid>,
+    pub(crate) last_tid: Option<Tid>,
     /// Current segment: when it started, overhead absorbed, work accounted.
     seg_start: Time,
     seg_overhead: Dur,
@@ -149,7 +164,7 @@ struct Cpu {
     /// run/spin segment (false while a task is between actions, so stale
     /// fields are never accounted to the wrong task).
     seg_active: bool,
-    resched_pending: bool,
+    pub(crate) resched_pending: bool,
     stats: CpuStats,
 }
 
@@ -157,6 +172,8 @@ impl Cpu {
     fn new() -> Cpu {
         Cpu {
             current: None,
+            online: true,
+            tick_armed: false,
             last_tid: None,
             seg_start: Time::ZERO,
             seg_overhead: Dur::ZERO,
@@ -182,36 +199,50 @@ enum InterpretEnd {
 
 /// The simulated kernel. See the module docs for the execution model.
 pub struct Kernel {
-    topo: Topology,
-    cfg: SimConfig,
-    now: Time,
-    events: EventQueue<Event>,
-    sched: Box<dyn Scheduler>,
-    tasks: TaskTable,
-    trt: Vec<Option<TaskRt>>,
-    cpus: Vec<Cpu>,
-    sync: SyncTable,
-    apps: Vec<AppStats>,
+    pub(crate) topo: Topology,
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: Time,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) sched: Box<dyn Scheduler>,
+    pub(crate) tasks: TaskTable,
+    pub(crate) trt: Vec<Option<TaskRt>>,
+    pub(crate) cpus: Vec<Cpu>,
+    pub(crate) sync: SyncTable,
+    pub(crate) apps: Vec<AppStats>,
     live_apps: usize,
-    counters: Counters,
+    pub(crate) counters: Counters,
     hash: DecisionHash,
-    trace: simcore::TraceBuffer<TraceEvent>,
+    pub(crate) trace: simcore::TraceBuffer<TraceEvent>,
     /// Tracing enabled? Cached from `cfg.trace_capacity > 0` so the hot
     /// paths skip building [`TraceEvent`]s entirely when tracing is off.
-    trace_on: bool,
+    pub(crate) trace_on: bool,
     rng: SimRng,
     ticking: bool,
     /// Reused buffer for `balance_tick` target CPUs (no per-tick allocation).
     balance_buf: Vec<CpuId>,
+    /// Strict checking enabled? Cached from `cfg.check` so the disabled
+    /// path is one predictable branch per event.
+    check_on: bool,
+    /// Fault injection enabled? Cached from `cfg.faults.active()`.
+    faults_on: bool,
+    /// Dedicated RNG stream for fault injection, forked off the main seed
+    /// so faulty runs replay bit-identically.
+    pub(crate) fault_rng: SimRng,
+    /// Scratch buffers for the invariant checker (reused every event).
+    pub(crate) check_tids: Vec<Tid>,
+    pub(crate) check_seen: Vec<u8>,
 }
 
 impl Kernel {
     /// Build a kernel for `topo`, driven by `sched`.
     pub fn new(topo: Topology, cfg: SimConfig, sched: Box<dyn Scheduler>) -> Kernel {
         let ncpu = topo.nr_cpus();
-        let rng = SimRng::new(cfg.seed);
+        let mut rng = SimRng::new(cfg.seed);
         let trace = simcore::TraceBuffer::with_capacity(cfg.trace_capacity);
         let trace_on = cfg.trace_capacity > 0;
+        let check_on = cfg.check == CheckMode::Strict;
+        let faults_on = cfg.faults.active();
+        let fault_rng = rng.fork(0xFA17);
         Kernel {
             topo,
             cfg,
@@ -231,6 +262,11 @@ impl Kernel {
             rng,
             ticking: false,
             balance_buf: Vec::new(),
+            check_on,
+            faults_on,
+            fault_rng,
+            check_tids: Vec::new(),
+            check_seen: Vec::new(),
         }
     }
 
@@ -375,26 +411,57 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Run the simulation up to and including events at `until`.
+    ///
+    /// Panics on a [`SimError`]; use [`Kernel::try_run_until`] to handle
+    /// inconsistencies gracefully (crash bundle, nonzero exit).
     pub fn run_until(&mut self, until: Time) {
+        if let Err(e) = self.try_run_until(until) {
+            panic!("{e}");
+        }
+    }
+
+    /// Run the simulation up to and including events at `until`, returning
+    /// a structured error instead of panicking if the kernel, a scheduler,
+    /// or (in strict mode) an invariant check detects an inconsistency.
+    pub fn try_run_until(&mut self, until: Time) -> Result<(), SimError> {
         self.ensure_ticking();
         while let Some(at) = self.events.peek_time() {
             if at > until {
                 break;
             }
-            let (at, ev) = self.events.pop().expect("peeked");
+            let Some((at, ev)) = self.events.pop() else {
+                return Err(SimError::EventQueueCorrupt { at: self.now });
+            };
             debug_assert!(at >= self.now);
             self.now = at;
             self.counters.events += 1;
-            self.handle(ev);
+            self.handle(ev)?;
+            if self.check_on {
+                self.run_checks()?;
+            }
         }
         if until > self.now {
             self.now = until;
         }
+        Ok(())
     }
 
     /// Run until every registered app finished, or until `limit`.
     /// Returns `true` if all apps completed.
+    ///
+    /// Panics on a [`SimError`]; use [`Kernel::try_run_until_apps_done`]
+    /// to handle inconsistencies gracefully.
     pub fn run_until_apps_done(&mut self, limit: Time) -> bool {
+        match self.try_run_until_apps_done(limit) {
+            Ok(done) => done,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run until every registered app finished, or until `limit`.
+    /// Returns `Ok(true)` if all apps completed, `Ok(false)` on timeout,
+    /// and `Err` if an inconsistency was detected.
+    pub fn try_run_until_apps_done(&mut self, limit: Time) -> Result<bool, SimError> {
         self.ensure_ticking();
         while self.live_apps > 0 {
             let Some(at) = self.events.peek_time() else {
@@ -402,14 +469,19 @@ impl Kernel {
             };
             if at > limit {
                 self.now = limit;
-                return false;
+                return Ok(false);
             }
-            let (at, ev) = self.events.pop().expect("peeked");
+            let Some((at, ev)) = self.events.pop() else {
+                return Err(SimError::EventQueueCorrupt { at: self.now });
+            };
             self.now = at;
             self.counters.events += 1;
-            self.handle(ev);
+            self.handle(ev)?;
+            if self.check_on {
+                self.run_checks()?;
+            }
         }
-        self.live_apps == 0
+        Ok(self.live_apps == 0)
     }
 
     fn ensure_ticking(&mut self) {
@@ -422,10 +494,21 @@ impl Kernel {
             // Stagger ticks across CPUs as real machines do, avoiding
             // artificial lock-step between cores.
             let offset = Dur(self.cfg.tick.as_nanos() * i / n);
+            self.cpus[i as usize].tick_armed = true;
             self.events.push(
                 self.now + self.cfg.tick + offset,
                 Event::Tick(CpuId(i as u32)),
             );
+        }
+        if self.faults_on {
+            if let Some(p) = self.cfg.faults.spurious_wake_period {
+                self.events
+                    .push(self.now + p, Event::Fault(FaultOp::SpuriousWake));
+            }
+            if let Some(p) = self.cfg.faults.hotplug_period {
+                self.events
+                    .push(self.now + p, Event::Fault(FaultOp::Offline));
+            }
         }
     }
 
@@ -433,9 +516,12 @@ impl Kernel {
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, ev: Event) {
+    fn handle(&mut self, ev: Event) -> Result<(), SimError> {
         match ev {
-            Event::Tick(cpu) => self.on_tick(cpu),
+            Event::Tick(cpu) => {
+                self.on_tick(cpu);
+                Ok(())
+            }
             Event::RunDone { cpu, gen } => self.on_run_done(cpu, gen),
             Event::TimerWake { tid } => self.on_timer_wake(tid),
             Event::SpinTimeout {
@@ -446,10 +532,16 @@ impl Kernel {
             Event::Resched(cpu) => self.on_resched(cpu),
             Event::Continue(tid) => self.on_continue(tid),
             Event::Control(op) => self.on_control(op),
+            Event::Fault(op) => self.on_fault(op),
         }
     }
 
     fn on_tick(&mut self, cpu: CpuId) {
+        if !self.cpus[cpu.index()].online {
+            // The tick chain dies while the CPU is down; cpu_online re-arms.
+            self.cpus[cpu.index()].tick_armed = false;
+            return;
+        }
         self.account_segment(cpu);
         if let Some(curr) = self.cpus[cpu.index()].current {
             if let Preempt::Yes = self.sched.task_tick(&mut self.tasks, cpu, curr, self.now) {
@@ -467,52 +559,80 @@ impl Kernel {
             self.events.push(self.now, Event::Resched(t));
         }
         self.balance_buf = targets;
-        let next = self.now + self.cfg.tick;
+        let mut next = self.now + self.cfg.tick;
+        if self.faults_on {
+            let f = &self.cfg.faults;
+            if f.missed_tick_pct > 0 && self.fault_rng.gen_below(100) < u64::from(f.missed_tick_pct)
+            {
+                next += self.cfg.tick; // this tick is lost entirely
+            }
+            if !f.tick_jitter.is_zero() {
+                next += Dur(self.fault_rng.gen_below(f.tick_jitter.as_nanos() + 1));
+            }
+        }
         self.events.push(next, Event::Tick(cpu));
     }
 
-    fn on_run_done(&mut self, cpu: CpuId, gen: u64) {
+    fn on_run_done(&mut self, cpu: CpuId, gen: u64) -> Result<(), SimError> {
         let c = &mut self.cpus[cpu.index()];
         if c.run_gen != gen {
-            return; // stale completion
+            return Ok(()); // stale completion
         }
         c.run_event = None;
-        let Some(tid) = c.current else { return };
+        let Some(tid) = c.current else { return Ok(()) };
         self.account_segment(cpu);
-        self.trt[tid.index()].as_mut().expect("live task").cont = Cont::NeedAction;
-        if let InterpretEnd::NeedsPick = self.interpret(cpu) {
-            self.pick_and_run(cpu);
+        self.rt_mut(tid)?.cont = Cont::NeedAction;
+        if let InterpretEnd::NeedsPick = self.interpret(cpu)? {
+            self.pick_and_run(cpu)?;
         }
+        Ok(())
     }
 
-    fn on_timer_wake(&mut self, tid: Tid) {
+    fn on_timer_wake(&mut self, tid: Tid) -> Result<(), SimError> {
         if !self.tasks.contains(tid) || self.tasks.get(tid).state != TaskState::Sleeping {
-            return;
+            return Ok(());
         }
-        self.trt[tid.index()].as_mut().expect("live").cont = Cont::NeedAction;
-        self.wake_task(tid, None);
+        // A stale timer (the task was spuriously woken, proceeded past its
+        // sleep and blocked on something else) must not wake the task.
+        let now = self.now;
+        match self.rt_mut(tid)?.blocked_on {
+            Some(BlockedOn::Timer { deadline }) if deadline <= now => {}
+            _ => return Ok(()),
+        }
+        self.rt_mut(tid)?.cont = Cont::NeedAction;
+        self.wake_task(tid, None)
     }
 
-    fn on_spin_timeout(&mut self, tid: Tid, barrier: BarrierId, generation: u64) {
+    fn on_spin_timeout(
+        &mut self,
+        tid: Tid,
+        barrier: BarrierId,
+        generation: u64,
+    ) -> Result<(), SimError> {
         // Validate the task is still spinning on this barrier generation.
         let still_spinning = matches!(
             self.trt[tid.index()].as_ref().map(|rt| &rt.cont),
             Some(Cont::Spin { barrier: b, generation: g }) if *b == barrier && *g == generation
         );
         if !still_spinning {
-            return;
+            return Ok(());
         }
         if !self.sync.barrier_spin_timeout(barrier, tid, generation) {
-            return;
+            return Ok(());
         }
         // The spinner becomes a blocked waiter (it goes to sleep).
-        self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+        let rt = self.rt_mut(tid)?;
+        rt.cont = Cont::Blocked;
+        rt.blocked_on = Some(BlockedOn::Barrier {
+            barrier,
+            generation,
+        });
         let cpu = self.tasks.get(tid).cpu;
         let is_current = self.cpus[cpu.index()].current == Some(tid);
         if is_current {
             self.account_segment(cpu);
             self.block_current(cpu, tid);
-            self.pick_and_run(cpu);
+            self.pick_and_run(cpu)?;
         } else {
             // Preempted mid-spin: remove from the runqueue and sleep.
             self.sched
@@ -522,49 +642,53 @@ impl Kernel {
             t.sleep_start = self.now;
             t.on_rq = false;
         }
+        Ok(())
     }
 
-    fn on_resched(&mut self, cpu: CpuId) {
+    fn on_resched(&mut self, cpu: CpuId) -> Result<(), SimError> {
+        if !self.cpus[cpu.index()].online {
+            return Ok(()); // stale reschedule of a hotplugged-out CPU
+        }
         let c = &self.cpus[cpu.index()];
         if c.current.is_none() {
-            self.pick_and_run(cpu);
-            return;
+            return self.pick_and_run(cpu);
         }
         if !c.resched_pending {
-            return;
+            return Ok(());
         }
         self.cpus[cpu.index()].resched_pending = false;
-        self.preempt_current(cpu);
-        self.pick_and_run(cpu);
+        self.preempt_current(cpu)?;
+        self.pick_and_run(cpu)
     }
 
-    fn on_continue(&mut self, tid: Tid) {
+    fn on_continue(&mut self, tid: Tid) -> Result<(), SimError> {
         // A spinner released by a barrier while it was running.
         if !self.tasks.contains(tid) {
-            return;
+            return Ok(());
         }
         let cpu = self.tasks.get(tid).cpu;
         if self.cpus[cpu.index()].current != Some(tid) {
-            return; // it was preempted meanwhile; dispatch will continue it
+            return Ok(()); // it was preempted meanwhile; dispatch will continue it
         }
         if !matches!(
             self.trt[tid.index()].as_ref().map(|rt| &rt.cont),
             Some(Cont::NeedAction)
         ) {
-            return;
+            return Ok(());
         }
         self.account_segment(cpu);
-        if let InterpretEnd::NeedsPick = self.interpret(cpu) {
-            self.pick_and_run(cpu);
+        if let InterpretEnd::NeedsPick = self.interpret(cpu)? {
+            self.pick_and_run(cpu)?;
         }
+        Ok(())
     }
 
-    fn on_control(&mut self, op: ControlOp) {
+    fn on_control(&mut self, op: ControlOp) -> Result<(), SimError> {
         match op {
             ControlOp::StartApp(app, threads) => {
                 self.apps[app.0 as usize].started = Some(self.now);
                 for spec in threads {
-                    self.spawn_thread(app, spec, None);
+                    self.spawn_thread(app, spec, None)?;
                 }
             }
             ControlOp::UnpinApp(app) => {
@@ -576,13 +700,29 @@ impl Kernel {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Look up a task's runtime state, failing with context instead of
+    /// panicking when the slot is empty (the old `expect("live")` sites).
+    pub(crate) fn rt_mut(&mut self, tid: Tid) -> Result<&mut TaskRt, SimError> {
+        let at = self.now;
+        self.trt
+            .get_mut(tid.index())
+            .and_then(|o| o.as_mut())
+            .ok_or(SimError::TaskStateLost { tid, at })
     }
 
     // ------------------------------------------------------------------
     // Task lifecycle
     // ------------------------------------------------------------------
 
-    fn spawn_thread(&mut self, app: AppId, spec: ThreadSpec, parent: Option<Tid>) -> Tid {
+    fn spawn_thread(
+        &mut self,
+        app: AppId,
+        spec: ThreadSpec,
+        parent: Option<Tid>,
+    ) -> Result<Tid, SimError> {
         let group = self.apps[app.0 as usize].group;
         let ThreadSpec {
             name,
@@ -616,6 +756,7 @@ impl Kernel {
             pending_value: None,
             app,
             detached,
+            blocked_on: None,
         });
         let a = &mut self.apps[app.0 as usize];
         if !detached {
@@ -625,13 +766,18 @@ impl Kernel {
         self.counters.spawns += 1;
 
         self.sched.task_fork(&self.tasks, tid, parent, self.now);
-        self.place_and_enqueue(tid, parent, true);
-        tid
+        self.place_and_enqueue(tid, parent, true)?;
+        Ok(tid)
     }
 
     /// Place a task (new or waking) and enqueue it, charging placement-scan
     /// cost to the CPU doing the wakeup.
-    fn place_and_enqueue(&mut self, tid: Tid, waker: Option<Tid>, is_new: bool) {
+    fn place_and_enqueue(
+        &mut self,
+        tid: Tid,
+        waker: Option<Tid>,
+        is_new: bool,
+    ) -> Result<(), SimError> {
         let waking_cpu = match waker {
             Some(w) if self.tasks.contains(w) => self.tasks.get(w).cpu,
             _ => self.tasks.get(tid).last_cpu,
@@ -645,10 +791,19 @@ impl Kernel {
         let target =
             self.sched
                 .select_task_rq(&self.tasks, tid, kind, waking_cpu, self.now, &mut stats);
-        debug_assert!(
-            self.tasks.get(tid).allowed_on(target),
-            "scheduler violated affinity of {tid}"
-        );
+        if !self.tasks.get(tid).allowed_on(target) {
+            return Err(SimError::AffinityViolated {
+                tid,
+                cpu: target,
+                at: self.now,
+            });
+        }
+        if !self.cpus[target.index()].online {
+            return Err(SimError::Invariant {
+                at: self.now,
+                detail: format!("scheduler placed {tid} on offline {target}"),
+            });
+        }
         self.counters.placement_scans += stats.cpus_scanned as u64;
         let scan_cost = self
             .cfg
@@ -690,13 +845,15 @@ impl Kernel {
             }
             _ => {}
         }
+        Ok(())
     }
 
-    fn wake_task(&mut self, tid: Tid, waker: Option<Tid>) {
+    pub(crate) fn wake_task(&mut self, tid: Tid, waker: Option<Tid>) -> Result<(), SimError> {
         debug_assert_eq!(self.tasks.get(tid).state, TaskState::Sleeping);
+        self.rt_mut(tid)?.blocked_on = None;
         self.counters.wakeups += 1;
         self.hash.record(2, self.now, tid.0, 0);
-        self.place_and_enqueue(tid, waker, false);
+        self.place_and_enqueue(tid, waker, false)
     }
 
     // ------------------------------------------------------------------
@@ -805,20 +962,23 @@ impl Kernel {
 
     /// Take the current task off the CPU, saving its remaining work, and
     /// put it back in the runqueue (involuntary preemption).
-    fn preempt_current(&mut self, cpu: CpuId) {
+    pub(crate) fn preempt_current(&mut self, cpu: CpuId) -> Result<(), SimError> {
         self.account_segment(cpu);
         let c = &mut self.cpus[cpu.index()];
-        let Some(tid) = c.current.take() else { return };
+        let Some(tid) = c.current.take() else {
+            return Ok(());
+        };
         // Save remaining work for Run segments.
         let left = c.seg_run_left.saturating_sub(c.seg_accounted);
         self.cancel_segment(cpu);
-        let rt = self.trt[tid.index()].as_mut().expect("live");
+        let penalty = self.cfg.preempt_penalty;
+        let rt = self.rt_mut(tid)?;
         match rt.cont {
             Cont::Run { .. } => {
                 // Involuntary preemption partially evicts the working set;
                 // the refill shows up as extra work when it resumes.
                 rt.cont = Cont::Run {
-                    left: left + self.cfg.preempt_penalty,
+                    left: left + penalty,
                 }
             }
             Cont::Spin { .. } => {} // spin deadline is absolute; keep state
@@ -829,6 +989,7 @@ impl Kernel {
         t.last_ran = self.now;
         self.sched
             .put_prev_task(&mut self.tasks, cpu, tid, self.now);
+        Ok(())
     }
 
     /// The current task on `cpu` blocks (voluntary sleep). The task keeps
@@ -848,7 +1009,7 @@ impl Kernel {
     }
 
     /// The current task exits.
-    fn exit_current(&mut self, cpu: CpuId, tid: Tid) {
+    fn exit_current(&mut self, cpu: CpuId, tid: Tid) -> Result<(), SimError> {
         self.account_segment(cpu);
         self.cancel_segment(cpu);
         self.cpus[cpu.index()].current = None;
@@ -861,7 +1022,7 @@ impl Kernel {
         if self.trace_on {
             self.trace.push(TraceEvent::Exit { at: self.now, tid });
         }
-        let rt = self.trt[tid.index()].as_mut().expect("live");
+        let rt = self.rt_mut(tid)?;
         rt.cont = Cont::Done;
         rt.behavior = None;
         let app = rt.app;
@@ -876,11 +1037,15 @@ impl Kernel {
                 }
             }
         }
+        Ok(())
     }
 
     /// Pick tasks until one actually keeps the CPU (installs a run/spin
     /// segment) or the queue drains (CPU idles).
-    fn pick_and_run(&mut self, cpu: CpuId) {
+    fn pick_and_run(&mut self, cpu: CpuId) -> Result<(), SimError> {
+        if !self.cpus[cpu.index()].online {
+            return Ok(()); // hotplugged out; nothing may run here
+        }
         loop {
             debug_assert!(self.cpus[cpu.index()].current.is_none());
             let mut picked = self.sched.pick_next_task(&mut self.tasks, cpu, self.now);
@@ -900,7 +1065,7 @@ impl Kernel {
                 if self.trace_on {
                     self.trace.push(TraceEvent::Idle { at: self.now, cpu });
                 }
-                return;
+                return Ok(());
             };
             debug_assert_eq!(self.tasks.get(tid).cpu, cpu, "picked task not on this cpu");
 
@@ -917,8 +1082,19 @@ impl Kernel {
             };
             {
                 let t = self.tasks.get_mut(tid);
+                // The scheduling-latency headline metric: how long this
+                // task sat runnable before getting the CPU.
+                let waited_since = if t.last_ran > t.last_wakeup {
+                    t.last_ran
+                } else {
+                    t.last_wakeup
+                };
+                let wait = self.now.saturating_since(waited_since);
                 t.state = TaskState::Running;
                 t.last_cpu = cpu;
+                if wait > self.counters.max_runnable_wait {
+                    self.counters.max_runnable_wait = wait;
+                }
             }
             let c = &mut self.cpus[cpu.index()];
             c.current = Some(tid);
@@ -946,62 +1122,123 @@ impl Kernel {
                 self.cpus[cpu.index()].stats.overhead += cost;
             }
 
-            let cont = std::mem::replace(
-                &mut self.trt[tid.index()].as_mut().expect("live").cont,
-                Cont::NeedAction,
-            );
+            let cont = std::mem::replace(&mut self.rt_mut(tid)?.cont, Cont::NeedAction);
             match cont {
                 Cont::Run { left } => {
-                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Run { left };
+                    self.rt_mut(tid)?.cont = Cont::Run { left };
                     self.start_run_segment(cpu, left);
-                    return;
+                    return Ok(());
                 }
                 Cont::Spin {
                     barrier,
                     generation,
                 } => {
-                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Spin {
+                    self.rt_mut(tid)?.cont = Cont::Spin {
                         barrier,
                         generation,
                     };
                     self.start_spin_segment(cpu);
-                    return;
+                    return Ok(());
                 }
-                Cont::NeedAction => match self.interpret(cpu) {
-                    InterpretEnd::Running => return,
+                Cont::NeedAction => match self.interpret(cpu)? {
+                    InterpretEnd::Running => return Ok(()),
+                    InterpretEnd::NeedsPick => continue,
+                },
+                Cont::Retry(op) => match self.retry_blocked_op(cpu, tid, op)? {
+                    InterpretEnd::Running => return Ok(()),
                     InterpretEnd::NeedsPick => continue,
                 },
                 Cont::Blocked | Cont::Done => {
-                    unreachable!("picked a blocked/dead task {tid}")
+                    return Err(SimError::PickedBlockedTask {
+                        tid,
+                        cpu,
+                        at: self.now,
+                    });
                 }
             }
         }
     }
 
+    /// A spuriously woken task re-executes the blocking operation it was
+    /// ripped out of. If the resource is still unavailable it re-blocks —
+    /// the wake was for nothing, exactly like a real spurious wakeup — and
+    /// otherwise it completes the operation and carries on.
+    fn retry_blocked_op(
+        &mut self,
+        cpu: CpuId,
+        tid: Tid,
+        op: BlockedOn,
+    ) -> Result<InterpretEnd, SimError> {
+        let out = match op {
+            BlockedOn::Timer { deadline } => {
+                if self.now < deadline {
+                    // Too early: go back to sleep. The original timer event
+                    // is still armed and will deliver the real wakeup.
+                    let rt = self.rt_mut(tid)?;
+                    rt.cont = Cont::Blocked;
+                    rt.blocked_on = Some(op);
+                    self.block_current(cpu, tid);
+                    return Ok(InterpretEnd::NeedsPick);
+                }
+                OpOutcome::default() // sleep satisfied; proceed
+            }
+            BlockedOn::Mutex(m) => self.sync.mutex_lock(m, tid),
+            BlockedOn::Sem(s) => self.sync.sem_wait(s, tid),
+            BlockedOn::QueuePut { queue, value } => self.sync.queue_put(queue, tid, value),
+            BlockedOn::QueueGet(q) => self.sync.queue_get(q, tid),
+            BlockedOn::Barrier {
+                barrier,
+                generation,
+            } => {
+                if self.sync.barrier_generation(barrier) != generation {
+                    // The barrier released while we were spuriously awake.
+                    OpOutcome::default()
+                } else {
+                    self.sync.barrier_arrive(barrier, tid, false)
+                }
+            }
+        };
+        debug_assert!(!out.spin, "retry never spins");
+        if self.apply_outcome(cpu, tid, out, Some(op))? {
+            Ok(InterpretEnd::NeedsPick)
+        } else {
+            self.interpret(cpu)
+        }
+    }
+
     /// Interpret zero-time actions of the current task on `cpu` until it
     /// runs, spins, blocks, yields or exits.
-    fn interpret(&mut self, cpu: CpuId) -> InterpretEnd {
+    fn interpret(&mut self, cpu: CpuId) -> Result<InterpretEnd, SimError> {
         let mut guard = 0u32;
         loop {
             guard += 1;
-            assert!(
-                guard <= self.cfg.max_instant_actions,
-                "behavior on {cpu} emitted too many zero-time actions"
-            );
-            let tid = self.cpus[cpu.index()].current.expect("current");
+            if guard > self.cfg.max_instant_actions {
+                return Err(SimError::RunawayBehavior {
+                    cpu,
+                    at: self.now,
+                    actions: guard,
+                });
+            }
+            let Some(tid) = self.cpus[cpu.index()].current else {
+                return Err(SimError::NoCurrent { cpu, at: self.now });
+            };
             let action = {
-                let rt = self.trt[tid.index()].as_mut().expect("live");
-                let mut behavior = rt.behavior.take().expect("behavior");
+                let now = self.now;
+                let rt = self.rt_mut(tid)?;
+                let mut behavior = rt
+                    .behavior
+                    .take()
+                    .ok_or(SimError::TaskStateLost { tid, at: now })?;
                 let value = rt.pending_value.take();
                 let mut ctx = Ctx {
-                    now: self.now,
+                    now,
                     tid,
                     cpu,
                     value,
                     rng: &mut rt.rng,
                 };
                 let action = behavior.next(&mut ctx);
-                self.trt[tid.index()].as_mut().expect("live").behavior = Some(behavior);
+                self.rt_mut(tid)?.behavior = Some(behavior);
                 action
             };
             match action {
@@ -1009,49 +1246,57 @@ impl Kernel {
                     if d.is_zero() {
                         continue;
                     }
-                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Run { left: d };
+                    self.rt_mut(tid)?.cont = Cont::Run { left: d };
                     self.start_run_segment(cpu, d);
-                    return InterpretEnd::Running;
+                    return Ok(InterpretEnd::Running);
                 }
                 Action::Sleep(d) => {
-                    self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+                    let deadline = self.now + d;
+                    let rt = self.rt_mut(tid)?;
+                    rt.cont = Cont::Blocked;
+                    rt.blocked_on = Some(BlockedOn::Timer { deadline });
                     self.block_current(cpu, tid);
-                    self.events.push(self.now + d, Event::TimerWake { tid });
-                    return InterpretEnd::NeedsPick;
+                    self.events.push(deadline, Event::TimerWake { tid });
+                    return Ok(InterpretEnd::NeedsPick);
                 }
                 Action::MutexLock(m) => {
                     let out = self.sync.mutex_lock(m, tid);
-                    if self.apply_outcome(cpu, tid, out) {
-                        return InterpretEnd::NeedsPick;
+                    if self.apply_outcome(cpu, tid, out, Some(BlockedOn::Mutex(m)))? {
+                        return Ok(InterpretEnd::NeedsPick);
                     }
                 }
                 Action::MutexUnlock(m) => {
                     let out = self.sync.mutex_unlock(m, tid);
-                    let blocked = self.apply_outcome(cpu, tid, out);
+                    let blocked = self.apply_outcome(cpu, tid, out, None)?;
                     debug_assert!(!blocked);
                 }
                 Action::SemWait(s) => {
                     let out = self.sync.sem_wait(s, tid);
-                    if self.apply_outcome(cpu, tid, out) {
-                        return InterpretEnd::NeedsPick;
+                    if self.apply_outcome(cpu, tid, out, Some(BlockedOn::Sem(s)))? {
+                        return Ok(InterpretEnd::NeedsPick);
                     }
                 }
                 Action::SemPost(s) => {
                     let out = self.sync.sem_post(s);
-                    let blocked = self.apply_outcome(cpu, tid, out);
+                    let blocked = self.apply_outcome(cpu, tid, out, None)?;
                     debug_assert!(!blocked);
                 }
                 Action::BarrierWait(b) => {
+                    let generation = self.sync.barrier_generation(b);
                     let out = self.sync.barrier_arrive(b, tid, false);
-                    if self.apply_outcome(cpu, tid, out) {
-                        return InterpretEnd::NeedsPick;
+                    let op = BlockedOn::Barrier {
+                        barrier: b,
+                        generation,
+                    };
+                    if self.apply_outcome(cpu, tid, out, Some(op))? {
+                        return Ok(InterpretEnd::NeedsPick);
                     }
                 }
                 Action::BarrierWaitSpin(b, budget) => {
                     let generation = self.sync.barrier_generation(b);
                     let out = self.sync.barrier_arrive(b, tid, true);
                     if out.spin {
-                        self.trt[tid.index()].as_mut().expect("live").cont = Cont::Spin {
+                        self.rt_mut(tid)?.cont = Cont::Spin {
                             barrier: b,
                             generation,
                         };
@@ -1064,30 +1309,31 @@ impl Kernel {
                             },
                         );
                         self.start_spin_segment(cpu);
-                        return InterpretEnd::Running;
+                        return Ok(InterpretEnd::Running);
                     }
-                    let blocked = self.apply_outcome(cpu, tid, out);
+                    let blocked = self.apply_outcome(cpu, tid, out, None)?;
                     debug_assert!(!blocked, "last arriver never blocks");
                 }
                 Action::QueuePut(q, v) => {
                     let out = self.sync.queue_put(q, tid, v);
-                    if self.apply_outcome(cpu, tid, out) {
-                        return InterpretEnd::NeedsPick;
+                    let op = BlockedOn::QueuePut { queue: q, value: v };
+                    if self.apply_outcome(cpu, tid, out, Some(op))? {
+                        return Ok(InterpretEnd::NeedsPick);
                     }
                 }
                 Action::QueueGet(q) => {
                     let out = self.sync.queue_get(q, tid);
-                    if self.apply_outcome(cpu, tid, out) {
-                        return InterpretEnd::NeedsPick;
+                    if self.apply_outcome(cpu, tid, out, Some(BlockedOn::QueueGet(q)))? {
+                        return Ok(InterpretEnd::NeedsPick);
                     }
                 }
                 Action::PoolTake(p) => {
                     let got = self.sync.pool_take(p);
-                    self.trt[tid.index()].as_mut().expect("live").pending_value = Some(got);
+                    self.rt_mut(tid)?.pending_value = Some(got);
                 }
                 Action::Spawn(spec) => {
-                    let app = self.trt[tid.index()].as_ref().expect("live").app;
-                    self.spawn_thread(app, spec, Some(tid));
+                    let app = self.rt_mut(tid)?.app;
+                    self.spawn_thread(app, spec, Some(tid))?;
                 }
                 Action::Yield => {
                     self.account_segment(cpu);
@@ -1097,55 +1343,66 @@ impl Kernel {
                     t.state = TaskState::Runnable;
                     t.last_ran = self.now;
                     self.sched.yield_task(&mut self.tasks, cpu, self.now);
-                    return InterpretEnd::NeedsPick;
+                    return Ok(InterpretEnd::NeedsPick);
                 }
                 Action::CountOps(n) => {
-                    let app = self.trt[tid.index()].as_ref().expect("live").app;
+                    let app = self.rt_mut(tid)?.app;
                     self.apps[app.0 as usize].ops += n;
                 }
                 Action::RecordLatency(d) => {
-                    let app = self.trt[tid.index()].as_ref().expect("live").app;
+                    let app = self.rt_mut(tid)?.app;
                     let a = &mut self.apps[app.0 as usize];
                     a.lat_count += 1;
                     a.lat_sum += d;
                     a.lat_max = a.lat_max.max(d);
                 }
                 Action::Exit => {
-                    self.exit_current(cpu, tid);
-                    return InterpretEnd::NeedsPick;
+                    self.exit_current(cpu, tid)?;
+                    return Ok(InterpretEnd::NeedsPick);
                 }
             }
         }
     }
 
     /// Apply a synchronisation outcome for the current task `tid` on `cpu`.
+    /// `op` records what the task would be blocked on if `out.block` is set,
+    /// so the fault harness can later wake it spuriously and have it retry.
     /// Returns `true` if the task blocked (caller must stop interpreting).
-    fn apply_outcome(&mut self, cpu: CpuId, tid: Tid, out: OpOutcome) -> bool {
+    fn apply_outcome(
+        &mut self,
+        cpu: CpuId,
+        tid: Tid,
+        out: OpOutcome,
+        op: Option<BlockedOn>,
+    ) -> Result<bool, SimError> {
         if let Some(v) = out.value {
-            self.trt[tid.index()].as_mut().expect("live").pending_value = Some(v);
+            self.rt_mut(tid)?.pending_value = Some(v);
         }
         for (w, val) in out.wake {
+            let rt = self.rt_mut(w)?;
             if let Some(v) = val {
-                self.trt[w.index()].as_mut().expect("live").pending_value = Some(v);
+                rt.pending_value = Some(v);
             }
-            self.trt[w.index()].as_mut().expect("live").cont = Cont::NeedAction;
-            self.wake_task(w, Some(tid));
+            rt.cont = Cont::NeedAction;
+            self.wake_task(w, Some(tid))?;
         }
         for s in out.release_spinners {
-            self.release_spinner(s);
+            self.release_spinner(s)?;
         }
         if out.block {
-            self.trt[tid.index()].as_mut().expect("live").cont = Cont::Blocked;
+            let rt = self.rt_mut(tid)?;
+            rt.cont = Cont::Blocked;
+            rt.blocked_on = op;
             self.block_current(cpu, tid);
-            true
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
     /// A barrier released a spinning task: let it continue, wherever it is.
-    fn release_spinner(&mut self, tid: Tid) {
-        let rt = self.trt[tid.index()].as_mut().expect("live");
+    fn release_spinner(&mut self, tid: Tid) -> Result<(), SimError> {
+        let rt = self.rt_mut(tid)?;
         debug_assert!(matches!(rt.cont, Cont::Spin { .. }));
         rt.cont = Cont::NeedAction;
         let cpu = self.tasks.get(tid).cpu;
@@ -1156,5 +1413,6 @@ impl Kernel {
         }
         // If it was preempted mid-spin it sits in a runqueue and will
         // continue at its next dispatch.
+        Ok(())
     }
 }

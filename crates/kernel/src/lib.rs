@@ -14,7 +14,10 @@
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod check;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod simple;
 pub mod stats;
@@ -25,8 +28,11 @@ pub use behavior::{
     cpu_hog, from_fn, spinner, Action, BarrierId, Behavior, Ctx, FnBehavior, MutexId, PoolId,
     QueueId, Script, SemId, ThreadSpec,
 };
-pub use config::SimConfig;
+pub use config::{CheckMode, SimConfig};
+pub use error::SimError;
+pub use fault::FaultPlan;
 pub use kernel::{AppId, AppSpec, Kernel};
 pub use simple::SimpleRR;
 pub use stats::{AppStats, Counters, CpuStats};
+pub use sync::BlockedOn;
 pub use trace::TraceEvent;

@@ -20,11 +20,24 @@ use topology::{CpuId, Topology};
 /// Fixed round-robin timeslice.
 const SLICE: Dur = Dur::millis(10);
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Rq {
     queue: VecDeque<Tid>,
     curr: Option<Tid>,
     slice_start: Time,
+    /// `false` while the CPU is hotplugged out.
+    online: bool,
+}
+
+impl Default for Rq {
+    fn default() -> Rq {
+        Rq {
+            queue: VecDeque::new(),
+            curr: None,
+            slice_start: Time::ZERO,
+            online: true,
+        }
+    }
 }
 
 /// Round-robin scheduler; see module docs.
@@ -63,7 +76,7 @@ impl Scheduler for SimpleRR {
         let mut best = None;
         for (i, rq) in self.rqs.iter().enumerate() {
             let cpu = CpuId(i as u32);
-            if !task.allowed_on(cpu) {
+            if !rq.online || !task.allowed_on(cpu) {
                 continue;
             }
             stats.cpus_scanned += 1;
@@ -74,7 +87,7 @@ impl Scheduler for SimpleRR {
                 _ => {}
             }
         }
-        best.expect("task has an empty affinity mask").0
+        best.expect("task has no online CPU in its affinity mask").0
     }
 
     fn enqueue_task(
@@ -170,7 +183,7 @@ impl Scheduler for SimpleRR {
         let mut busiest: Option<(usize, usize)> = None;
         for (i, rq) in self.rqs.iter().enumerate() {
             stats.cpus_scanned += 1;
-            if i == cpu.index() {
+            if i == cpu.index() || !rq.online {
                 continue;
             }
             if rq.queue.is_empty() {
@@ -207,5 +220,29 @@ impl Scheduler for SimpleRR {
 
     fn snapshot(&self, _tasks: &TaskTable, _tid: Tid) -> TaskSnapshot {
         TaskSnapshot::default()
+    }
+
+    fn audit(&mut self, tasks: &TaskTable, cpu: CpuId, _now: Time) -> Result<(), String> {
+        let rq = &self.rqs[cpu.index()];
+        for (i, &t) in rq.queue.iter().enumerate() {
+            if rq.curr == Some(t) {
+                return Err(format!("{t} is both current and queued"));
+            }
+            if rq.queue.iter().skip(i + 1).any(|&u| u == t) {
+                return Err(format!("{t} queued twice"));
+            }
+            if !tasks.contains(t) {
+                return Err(format!("queued {t} does not exist"));
+            }
+        }
+        Ok(())
+    }
+
+    fn cpu_offline(&mut self, cpu: CpuId) {
+        self.rq(cpu).online = false;
+    }
+
+    fn cpu_online(&mut self, cpu: CpuId) {
+        self.rq(cpu).online = true;
     }
 }

@@ -22,6 +22,16 @@ pub struct Counters {
     /// Simulation events processed by the kernel's event loop. The unit of
     /// the `battle bench` throughput measurement (events per wall second).
     pub events: u64,
+    /// Longest time any task spent runnable-but-not-running before being
+    /// dispatched. The scheduling-latency/starvation headline number:
+    /// regressions show up here even with SchedSan checking off (strict
+    /// mode additionally *enforces* a bound on it, see
+    /// [`crate::SimConfig::starvation_limit`]).
+    pub max_runnable_wait: Dur,
+    /// Spurious wakeups injected by the fault harness.
+    pub spurious_wakes: u64,
+    /// CPU offline/online transitions injected by the fault harness.
+    pub hotplug_events: u64,
 }
 
 /// Per-CPU utilisation accounting.

@@ -12,8 +12,49 @@
 use std::collections::VecDeque;
 
 use sched_api::Tid;
+use simcore::Time;
 
 use crate::behavior::{BarrierId, MutexId, PoolId, QueueId, SemId};
+
+/// What a sleeping task is blocked on. Recorded by the kernel whenever a
+/// task blocks so fault injection can spuriously wake it: the waiter record
+/// is removed from the synchronisation object and the task *retries* the
+/// incomplete operation at its next dispatch (re-blocking if it is still
+/// unavailable). This is exactly the contract POSIX condition variables
+/// give real schedulers, and it is what makes spurious-wakeup injection
+/// sound: no lock acquisition or queue value is ever skipped or lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Timed sleep until `deadline`. The original timer event stays armed;
+    /// a spuriously woken sleeper that retries before the deadline simply
+    /// goes back to sleep.
+    Timer {
+        /// Absolute wake deadline.
+        deadline: Time,
+    },
+    /// Waiting for mutex ownership.
+    Mutex(MutexId),
+    /// Waiting for a semaphore count.
+    Sem(SemId),
+    /// Waiting at a barrier. `generation` is the barrier generation at
+    /// arrival: if it advanced, the barrier already released and the retry
+    /// proceeds without re-arriving.
+    Barrier {
+        /// The barrier waited on.
+        barrier: BarrierId,
+        /// Barrier generation observed at arrival.
+        generation: u64,
+    },
+    /// Blocked putting `value` into a full queue.
+    QueuePut {
+        /// The full queue.
+        queue: QueueId,
+        /// The value that still has to be delivered.
+        value: u64,
+    },
+    /// Blocked getting from an empty queue.
+    QueueGet(QueueId),
+}
 
 /// Result of a synchronisation operation, interpreted by the kernel.
 #[derive(Debug, Default)]
@@ -309,6 +350,73 @@ impl SyncTable {
         }
     }
 
+    /// Remove `tid`'s waiter record from the object it is blocked on, in
+    /// preparation for a spurious wakeup. Returns `false` if the task is no
+    /// longer registered there (e.g. it was just granted mutex ownership in
+    /// the same instant, or the barrier already released) — in that case
+    /// the spurious wake must not be injected.
+    pub fn remove_waiter(&mut self, op: BlockedOn, tid: Tid) -> bool {
+        match op {
+            BlockedOn::Timer { .. } => true,
+            BlockedOn::Mutex(m) => {
+                let mx = &mut self.mutexes[m.0 as usize];
+                match mx.waiters.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        mx.waiters.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            BlockedOn::Sem(s) => {
+                let sem = &mut self.sems[s.0 as usize];
+                match sem.waiters.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        sem.waiters.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            BlockedOn::Barrier {
+                barrier,
+                generation,
+            } => {
+                let bar = &mut self.barriers[barrier.0 as usize];
+                if bar.generation != generation {
+                    return false;
+                }
+                match bar.blocked.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        bar.blocked.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            BlockedOn::QueuePut { queue, .. } => {
+                let qu = &mut self.queues[queue.0 as usize];
+                match qu.putters.iter().position(|&(t, _)| t == tid) {
+                    Some(i) => {
+                        qu.putters.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            BlockedOn::QueueGet(q) => {
+                let qu = &mut self.queues[q.0 as usize];
+                match qu.getters.iter().position(|&t| t == tid) {
+                    Some(i) => {
+                        qu.getters.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
     /// Number of items currently buffered in `q`.
     pub fn queue_len(&self, q: QueueId) -> usize {
         self.queues[q.0 as usize].items.len()
@@ -411,6 +519,53 @@ mod tests {
         assert_eq!(r.release_spinners, vec![Tid(1)]);
         // Timeout that raced with the release must be a no-op.
         assert!(!s.barrier_spin_timeout(b, Tid(1), gen));
+    }
+
+    #[test]
+    fn remove_waiter_for_spurious_wakeups() {
+        let mut s = SyncTable::new();
+        let m = s.new_mutex();
+        s.mutex_lock(m, Tid(1));
+        s.mutex_lock(m, Tid(2));
+        // Tid(2) is a waiter: removable once, then gone.
+        assert!(s.remove_waiter(BlockedOn::Mutex(m), Tid(2)));
+        assert!(!s.remove_waiter(BlockedOn::Mutex(m), Tid(2)));
+        // Unlock now finds no waiter; the retry path must re-acquire.
+        assert!(s.mutex_unlock(m, Tid(1)).wake.is_empty());
+        assert!(!s.mutex_lock(m, Tid(2)).block);
+
+        let b = s.new_barrier(2);
+        let generation = s.barrier_generation(b);
+        s.barrier_arrive(b, Tid(3), false);
+        assert!(s.remove_waiter(
+            BlockedOn::Barrier {
+                barrier: b,
+                generation
+            },
+            Tid(3)
+        ));
+        // Stale generation (barrier already released) is rejected.
+        s.barrier_arrive(b, Tid(3), false);
+        assert_eq!(s.barrier_arrive(b, Tid(4), false).wake.len(), 1);
+        assert!(!s.remove_waiter(
+            BlockedOn::Barrier {
+                barrier: b,
+                generation
+            },
+            Tid(3)
+        ));
+
+        let q = s.new_queue(1);
+        s.queue_put(q, Tid(5), 7);
+        s.queue_put(q, Tid(6), 8); // blocks: queue full
+        assert!(s.remove_waiter(BlockedOn::QueuePut { queue: q, value: 8 }, Tid(6)));
+        // The removed putter's value left with it: only item 7 remains.
+        assert_eq!(s.queue_get(q, Tid(5)).value, Some(7));
+        assert!(s.queue_get(q, Tid(5)).block);
+        assert!(s.remove_waiter(BlockedOn::QueueGet(q), Tid(5)));
+
+        // Timer waits have no object-side record.
+        assert!(s.remove_waiter(BlockedOn::Timer { deadline: Time(9) }, Tid(1)));
     }
 
     #[test]

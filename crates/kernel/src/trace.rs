@@ -49,6 +49,22 @@ pub enum TraceEvent {
         /// The exiting task.
         tid: Tid,
     },
+    /// A CPU was hotplugged off or back on by the fault harness.
+    Hotplug {
+        /// When it happened.
+        at: Time,
+        /// The affected CPU.
+        cpu: CpuId,
+        /// `true` = came online, `false` = went offline.
+        online: bool,
+    },
+    /// The fault harness spuriously woke a sleeping task.
+    SpuriousWake {
+        /// When it happened.
+        at: Time,
+        /// The victim task.
+        tid: Tid,
+    },
 }
 
 impl TraceEvent {
@@ -58,7 +74,9 @@ impl TraceEvent {
             TraceEvent::Switch { at, .. }
             | TraceEvent::Wakeup { at, .. }
             | TraceEvent::Idle { at, .. }
-            | TraceEvent::Exit { at, .. } => at,
+            | TraceEvent::Exit { at, .. }
+            | TraceEvent::Hotplug { at, .. }
+            | TraceEvent::SpuriousWake { at, .. } => at,
         }
     }
 
@@ -66,8 +84,10 @@ impl TraceEvent {
     pub fn tid(&self) -> Option<Tid> {
         match *self {
             TraceEvent::Switch { to, .. } => Some(to),
-            TraceEvent::Wakeup { tid, .. } | TraceEvent::Exit { tid, .. } => Some(tid),
-            TraceEvent::Idle { .. } => None,
+            TraceEvent::Wakeup { tid, .. }
+            | TraceEvent::Exit { tid, .. }
+            | TraceEvent::SpuriousWake { tid, .. } => Some(tid),
+            TraceEvent::Idle { .. } | TraceEvent::Hotplug { .. } => None,
         }
     }
 }

@@ -238,4 +238,31 @@ pub trait Scheduler {
 
     /// Point-in-time scheduler-internal state of a task, for the figures.
     fn snapshot(&self, tasks: &TaskTable, tid: Tid) -> TaskSnapshot;
+
+    /// Self-audit of the class's internal state for `cpu`, called by the
+    /// SchedSan invariant checker after every event when strict checking
+    /// is on. Implementations verify their class-specific invariants (CFS:
+    /// `min_vruntime` monotonicity, tree/accounting consistency; ULE:
+    /// priority-range validity, priority-multiset consistency) and return
+    /// a description of the first violation found. Takes `&mut self` so an
+    /// audit may keep memory between calls (e.g. the last observed
+    /// `min_vruntime` for monotonicity). The default audits nothing.
+    fn audit(&mut self, tasks: &TaskTable, cpu: CpuId, now: Time) -> Result<(), String> {
+        let _ = (tasks, cpu, now);
+        Ok(())
+    }
+
+    /// `cpu` is going offline (hotplug). The class must stop placing or
+    /// migrating tasks onto it until [`Scheduler::cpu_online`]; the kernel
+    /// drains the runqueue through the normal dequeue/select/enqueue path
+    /// immediately after this call. The default ignores hotplug (fine for
+    /// classes never run under fault injection).
+    fn cpu_offline(&mut self, cpu: CpuId) {
+        let _ = cpu;
+    }
+
+    /// `cpu` came back online and may receive tasks again.
+    fn cpu_online(&mut self, cpu: CpuId) {
+        let _ = cpu;
+    }
 }

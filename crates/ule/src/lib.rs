@@ -77,6 +77,8 @@ struct Tdq {
     prios: BTreeMap<i32, u32>,
     /// Next calendar-clock advance (stathz cadence).
     next_stat: Time,
+    /// `false` while the CPU is hotplugged out.
+    online: bool,
 }
 
 impl Tdq {
@@ -88,6 +90,7 @@ impl Tdq {
             load: 0,
             prios: BTreeMap::new(),
             next_stat: Time::ZERO,
+            online: true,
         }
     }
 
@@ -291,7 +294,11 @@ impl Scheduler for Ule {
         // Shortcut: idle and cache-affine last CPU.
         stats.cpus_scanned += 1;
         let affine = self.affine(tasks, tid, now);
-        if task.allowed_on(last) && affine && self.tdqs[last.index()].load == 0 {
+        if task.allowed_on(last)
+            && affine
+            && self.tdqs[last.index()].online
+            && self.tdqs[last.index()].load == 0
+        {
             return last;
         }
 
@@ -306,7 +313,7 @@ impl Scheduler for Ule {
             let mut best: Option<(usize, CpuId)> = None;
             for &c in span {
                 stats.cpus_scanned += 1;
-                if !task.allowed_on(c) {
+                if !task.allowed_on(c) || !ule.tdqs[c.index()].online {
                     continue;
                 }
                 if ule.tdqs[c.index()].lowpri() > prio {
@@ -333,7 +340,7 @@ impl Scheduler for Ule {
         let mut best: Option<(usize, CpuId)> = None;
         for &c in &all {
             stats.cpus_scanned += 1;
-            if !task.allowed_on(c) {
+            if !task.allowed_on(c) || !self.tdqs[c.index()].online {
                 continue;
             }
             let load = self.tdqs[c.index()].load;
@@ -343,7 +350,7 @@ impl Scheduler for Ule {
                 _ => {}
             }
         }
-        best.expect("no allowed cpu").1
+        best.expect("task has no online CPU in its affinity mask").1
     }
 
     fn enqueue_task(
@@ -560,7 +567,7 @@ impl Scheduler for Ule {
             let mut donor: Option<(usize, CpuId)> = None;
             let mut receiver: Option<(usize, CpuId)> = None;
             for c in self.topo.all_cpus() {
-                if used[c.index()] {
+                if used[c.index()] || !self.tdqs[c.index()].online {
                     continue;
                 }
                 let load = self.tdqs[c.index()].load;
@@ -610,7 +617,7 @@ impl Scheduler for Ule {
             let mut best: Option<(usize, CpuId)> = None;
             for &c in span {
                 stats.cpus_scanned += 1;
-                if c == cpu {
+                if c == cpu || !self.tdqs[c.index()].online {
                     continue;
                 }
                 let load = self.tdqs[c.index()].load;
@@ -654,5 +661,60 @@ impl Scheduler for Ule {
             timeslice_ns: Some(self.p.slice(load).as_nanos()),
             ..Default::default()
         }
+    }
+
+    fn audit(&mut self, _tasks: &TaskTable, cpu: CpuId, _now: Time) -> Result<(), String> {
+        let tdq = &self.tdqs[cpu.index()];
+        // The port convention (§3): the running thread counts in the load
+        // and stays tracked in the priority multiset.
+        let expect = tdq.interactive.len() + tdq.batch.len() + usize::from(tdq.curr.is_some());
+        if tdq.load != expect {
+            return Err(format!(
+                "load {} != queued {} + running {}",
+                tdq.load,
+                expect - usize::from(tdq.curr.is_some()),
+                usize::from(tdq.curr.is_some())
+            ));
+        }
+        let tracked: u64 = tdq.prios.values().map(|&c| u64::from(c)).sum();
+        if tracked != expect as u64 {
+            return Err(format!(
+                "prio multiset tracks {tracked} threads, load is {expect}"
+            ));
+        }
+        for &p in tdq.prios.keys() {
+            if !(0..=BATCH_PRIO_MAX).contains(&p) {
+                return Err(format!("tracked priority {p} out of range"));
+            }
+        }
+        for t in tdq.interactive.iter() {
+            match self.ts(t).queued_prio {
+                Some(p) if Self::is_interactive_prio(p) => {}
+                Some(p) => return Err(format!("{t} on interactive runq with batch prio {p}")),
+                None => return Err(format!("{t} on interactive runq without a recorded prio")),
+            }
+        }
+        for t in tdq.batch.iter() {
+            match self.ts(t).queued_prio {
+                Some(p) if !Self::is_interactive_prio(p) => {}
+                Some(p) => return Err(format!("{t} on batch runq with interactive prio {p}")),
+                None => return Err(format!("{t} on batch runq without a recorded prio")),
+            }
+        }
+        if let Some(curr) = tdq.curr {
+            let p = self.ts(curr).prio;
+            if !tdq.prios.contains_key(&p) {
+                return Err(format!("running {curr}'s prio {p} missing from multiset"));
+            }
+        }
+        Ok(())
+    }
+
+    fn cpu_offline(&mut self, cpu: CpuId) {
+        self.tdqs[cpu.index()].online = false;
+    }
+
+    fn cpu_online(&mut self, cpu: CpuId) {
+        self.tdqs[cpu.index()].online = true;
     }
 }
