@@ -30,8 +30,8 @@ pub mod pelt;
 pub mod placement;
 
 use sched_api::{
-    weights, DequeueKind, EnqueueKind, GroupId, Preempt, Scheduler, SelectStats, TaskSnapshot,
-    TaskTable, Tid, WakeKind,
+    weights, DequeueKind, EnqueueKind, GroupId, Preempt, PreemptCause, Scheduler, SelectStats,
+    TaskSnapshot, TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, Time};
 use topology::{CpuId, Domain, Level, Topology};
@@ -475,7 +475,7 @@ impl Scheduler for Cfs {
         c.tw_sum += w;
 
         if kind == EnqueueKind::Wakeup && self.should_preempt_on_wakeup(cpu, tid) {
-            Preempt::Yes
+            Preempt::Yes(PreemptCause::Wakeup)
         } else {
             Preempt::No
         }
@@ -628,7 +628,7 @@ impl Scheduler for Cfs {
         let te = self.tent(curr);
         let delta_exec = te.ent.sum_exec - te.slice_start_exec;
         if delta_exec > ideal {
-            return Preempt::Yes;
+            return Preempt::Yes(PreemptCause::SliceExpired);
         }
         // Secondary check from `check_preempt_tick`: don't let curr run far
         // ahead of the leftmost waiter in its own rq.
@@ -642,7 +642,7 @@ impl Scheduler for Cfs {
             };
             if let Some((lv, _)) = leftmost {
                 if te.ent.vruntime > lv && te.ent.vruntime - lv > ideal.as_nanos() {
-                    return Preempt::Yes;
+                    return Preempt::Yes(PreemptCause::Fairness);
                 }
             }
         }

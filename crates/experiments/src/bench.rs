@@ -9,10 +9,11 @@
 //! trace gating) show up as a drop between commits.
 
 use kernel::{cpu_hog, AppSpec, ThreadSpec};
+use metrics::LatencySummary;
 use simcore::{Dur, Time};
 use topology::Topology;
 
-use crate::{make_kernel, RunCfg, Sched};
+use crate::{make_kernel, scope, RunCfg, Sched};
 
 /// Throughput of one scheduler's run.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -34,6 +35,26 @@ pub struct BenchResult {
     /// Longest any task sat runnable-but-not-running (ms of simulated
     /// time) — the scheduling-latency/starvation headline number.
     pub max_runnable_wait_ms: f64,
+    /// Runnable→running dispatch-delay distribution over the bench run.
+    pub run_delay: LatencySummary,
+    /// Wakeup→dispatch latency distribution over the bench run.
+    pub wakeup_latency: LatencySummary,
+}
+
+/// Scheduling-latency percentiles measured on the Figure 1 single-core
+/// mix (fibo + 80 sysbench workers) — the paper's interactivity scenario,
+/// where ULE's starvation of the batch task shows up as a heavy run-delay
+/// tail while CFS spreads the wait evenly.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LatencyProbe {
+    /// Scheduler name ("CFS"/"ULE").
+    pub sched: String,
+    /// Scale the probe ran at (clamped to keep `bench` fast).
+    pub scale: f64,
+    /// Runnable→running dispatch delay, all dispatches.
+    pub run_delay: LatencySummary,
+    /// Wakeup→dispatch latency.
+    pub wakeup_latency: LatencySummary,
 }
 
 /// The full benchmark report.
@@ -45,6 +66,8 @@ pub struct BenchReport {
     pub seed: u64,
     /// One entry per scheduler, CFS first.
     pub results: Vec<BenchResult>,
+    /// Wakeup→dispatch / run-delay percentiles on the fig1 mix, CFS first.
+    pub latency: Vec<LatencyProbe>,
 }
 
 /// Simulated seconds to cover at `scale` (clamped so even tiny scales
@@ -79,13 +102,41 @@ pub fn run(cfg: &RunCfg) -> BenchReport {
             sim_ms_per_real_ms: sim_secs * 1e3 / (wall * 1e3),
             ctx_switches: k.counters().ctx_switches,
             max_runnable_wait_ms: k.counters().max_runnable_wait.as_secs_f64() * 1e3,
+            run_delay: k.run_delay().summary(),
+            wakeup_latency: k.wakeup_latency().summary(),
         });
     }
     BenchReport {
         scale: cfg.scale,
         seed: cfg.seed,
         results,
+        latency: latency_probe(cfg),
     }
+}
+
+/// Run the fig1 single-core mix under both schedulers (sequentially; it
+/// is simulated time, wall-clock contention does not matter here, but the
+/// probe reuses bench's no-parallelism convention) and report dispatch
+/// latency distributions.
+fn latency_probe(cfg: &RunCfg) -> Vec<LatencyProbe> {
+    let scale = cfg.scale.clamp(0.02, 0.2);
+    let probe_cfg = RunCfg {
+        scale,
+        seed: cfg.seed,
+    };
+    Sched::BOTH
+        .iter()
+        .map(|&sched| {
+            let (k, _ops) = scope::run_scenario("fig1", sched, &probe_cfg, None, 0)
+                .expect("fig1 is a known scenario");
+            LatencyProbe {
+                sched: sched.name().to_string(),
+                scale,
+                run_delay: k.run_delay().summary(),
+                wakeup_latency: k.wakeup_latency().summary(),
+            }
+        })
+        .collect()
 }
 
 /// Render the report as a table.
@@ -112,6 +163,33 @@ pub fn report(r: &BenchReport) -> String {
     }
     let mut s = String::from("Simulator throughput (busy 32-core machine, 64 CPU hogs)\n");
     s.push_str(&t.render());
+    if !r.latency.is_empty() {
+        let mut lt = metrics::Table::new(&[
+            "sched",
+            "run-delay p50 ms",
+            "p99 ms",
+            "max ms",
+            "wakeup-lat p50 ms",
+            "p99 ms",
+            "max ms",
+        ]);
+        for p in &r.latency {
+            lt.push(&[
+                p.sched.clone(),
+                format!("{:.3}", p.run_delay.p50_ms),
+                format!("{:.3}", p.run_delay.p99_ms),
+                format!("{:.1}", p.run_delay.max_ms),
+                format!("{:.3}", p.wakeup_latency.p50_ms),
+                format!("{:.3}", p.wakeup_latency.p99_ms),
+                format!("{:.1}", p.wakeup_latency.max_ms),
+            ]);
+        }
+        s.push_str(&format!(
+            "\nDispatch latency on the fig1 single-core mix (scale {:.2})\n",
+            r.latency[0].scale
+        ));
+        s.push_str(&lt.render());
+    }
     s
 }
 

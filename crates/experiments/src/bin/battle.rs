@@ -25,12 +25,20 @@
 //! battle fuzz [--cases N] [--seed N] [--sched cfs|ule|both]
 //!             [--faults on|off] [--parts MASK] [--case-seed HEX]
 //! ```
+//!
+//! `trace` exports a figure scenario's scheduling trace as
+//! Chrome-trace/Perfetto JSON (see `experiments::scope`):
+//!
+//! ```text
+//! battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream]
+//!              [--sched cfs|ule|both] [--scale S] [--seed N] [--json PATH]
+//! ```
 
 use std::io::Write;
 
 use experiments::{
     ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz, runner,
-    table1, table2, RunCfg, Sched,
+    scope, table1, table2, RunCfg, Sched,
 };
 use kernel::CheckMode;
 
@@ -39,6 +47,12 @@ struct Args {
     cfg: RunCfg,
     json: Option<String>,
     fuzz: fuzz::FuzzCfg,
+    /// `battle trace <fig>`: the figure to trace.
+    trace_fig: Option<String>,
+    /// `battle trace`: output path of the Chrome-trace JSON.
+    out: String,
+    /// `battle trace`: stream events to disk instead of buffering.
+    stream: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,8 +61,13 @@ fn parse_args() -> Result<Args, String> {
     let mut cfg = RunCfg::default();
     let mut json = None;
     let mut fz = fuzz::FuzzCfg::default();
+    let mut trace_fig = None;
+    let mut out = String::from("trace.json");
+    let mut stream = false;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--out" => out = args.next().ok_or("missing value for --out")?,
+            "--stream" => stream = true,
             "--check" => {
                 let v = args.next().ok_or("missing value for --check")?;
                 match v.as_str() {
@@ -106,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
                 runner::set_threads(n);
             }
             "--json" => json = Some(args.next().ok_or("missing value for --json")?),
+            other if experiment == "trace" && !other.starts_with('-') && trace_fig.is_none() => {
+                trace_fig = Some(other.to_string());
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -115,13 +137,18 @@ fn parse_args() -> Result<Args, String> {
         cfg,
         json,
         fuzz: fz,
+        trace_fig,
+        out,
+        stream,
     })
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|all> \
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|all> \
      [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
-     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX]"
+     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX]\n\
+     trace usage: battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream] [--sched cfs|ule|both]\n\
+                  exports a Chrome-trace/Perfetto JSON of the figure's scenario (default out: trace.json)"
         .to_string()
 }
 
@@ -249,6 +276,31 @@ fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>, fz: &fuzz::FuzzCfg) 
     ok
 }
 
+/// `battle trace <fig>`: export a Chrome-trace JSON of one figure's
+/// scenario (the `--sched` filter is shared with `fuzz`; default both).
+fn run_trace(args: &Args) -> bool {
+    let Some(fig) = &args.trace_fig else {
+        eprintln!("trace needs a figure argument\n{}", usage());
+        std::process::exit(2);
+    };
+    match scope::run_trace(
+        fig,
+        &args.fuzz.scheds,
+        &args.cfg,
+        std::path::Path::new(&args.out),
+        args.stream,
+    ) {
+        Ok(run) => {
+            print!("{}", scope::report(&run));
+            dump_json(&args.json, &run)
+        }
+        Err(e) => {
+            eprintln!("trace export failed: {e}");
+            false
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -258,6 +310,14 @@ fn main() {
         }
     };
     let mut ok = true;
+    if args.experiment == "trace" {
+        ok = run_trace(&args);
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.experiment == "all" {
         for name in [
             "table1",

@@ -36,6 +36,8 @@ pub struct Fig1Run {
     pub sysbench_avg_latency_ms: f64,
     /// Total CPU time consumed by fibo (Table 2's "Runtime").
     pub fibo_runtime_total_s: f64,
+    /// End-of-run observability snapshot (SchedScope).
+    pub obs: Option<crate::SchedObs>,
 }
 
 /// Run the experiment under one scheduler.
@@ -66,6 +68,7 @@ pub fn run(sched: Sched, cfg: &RunCfg) -> Fig1Run {
         sysbench_tx_per_s: 0.0,
         sysbench_avg_latency_ms: 0.0,
         fibo_runtime_total_s: 0.0,
+        obs: None,
     };
 
     let step = Dur::secs_f64((1.0 * cfg.scale).max(0.05));
@@ -111,6 +114,7 @@ pub fn run(sched: Sched, cfg: &RunCfg) -> Fig1Run {
         .map(|d| d.as_secs_f64() * 1e3)
         .unwrap_or(0.0);
     out.fibo_runtime_total_s = k.task_runtime(fibo_tid).as_secs_f64();
+    out.obs = Some(crate::obs_of(&k));
     out
 }
 

@@ -34,6 +34,8 @@ pub struct Fig6Run {
     pub good_balance_s: Option<f64>,
     /// Final max−min spread.
     pub final_spread: u32,
+    /// End-of-run observability snapshot (SchedScope).
+    pub obs: crate::SchedObs,
 }
 
 /// Run under one scheduler.
@@ -91,6 +93,7 @@ pub fn run(sched: Sched, cfg: &RunCfg) -> Fig6Run {
         on_core0_after_unpin,
         migrated_in_200ms,
         matrix,
+        obs: crate::obs_of(&k),
     }
 }
 

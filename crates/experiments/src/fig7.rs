@@ -24,6 +24,8 @@ pub struct Fig7Run {
     pub all_runnable_s: Option<f64>,
     /// Completion time of the app (seconds).
     pub completion_s: Option<f64>,
+    /// End-of-run observability snapshot (SchedScope).
+    pub obs: crate::SchedObs,
 }
 
 /// Run under one scheduler.
@@ -79,6 +81,7 @@ pub fn run(sched: Sched, cfg: &RunCfg) -> Fig7Run {
         matrix,
         all_runnable_s,
         completion_s: k.app(app).elapsed().map(|d| d.as_secs_f64()),
+        obs: crate::obs_of(&k),
     }
 }
 

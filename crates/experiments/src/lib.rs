@@ -40,6 +40,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fuzz;
 pub mod runner;
+pub mod scope;
 pub mod table1;
 pub mod table2;
 
@@ -141,6 +142,30 @@ pub fn make_kernel(topo: &Topology, sched: Sched, seed: u64) -> Kernel {
     Kernel::new(topo.clone(), cfg, class)
 }
 
+/// Structured observability snapshot of one finished kernel run
+/// (SchedScope): the counters plus the dispatch-latency distributions the
+/// kernel's hot path records. Attached to every figure's JSON dump so
+/// regressions in scheduling latency are visible without re-running.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SchedObs {
+    /// Kernel activity counters at the end of the run.
+    pub counters: kernel::Counters,
+    /// Runnable→running dispatch delay over *all* dispatches.
+    pub run_delay: metrics::LatencySummary,
+    /// Wakeup→dispatch latency (waits that started at a wakeup, the
+    /// paper's scheduling-latency notion).
+    pub wakeup_latency: metrics::LatencySummary,
+}
+
+/// Capture a [`SchedObs`] from a kernel at the end of a run.
+pub fn obs_of(k: &Kernel) -> SchedObs {
+    SchedObs {
+        counters: k.counters().clone(),
+        run_delay: k.run_delay().summary(),
+        wakeup_latency: k.wakeup_latency().summary(),
+    }
+}
+
 /// Result of running one suite entry under one scheduler.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PerfResult {
@@ -155,6 +180,8 @@ pub struct PerfResult {
     /// The §5.3 performance number: ops/s for database & NAS workloads,
     /// 1/time for everything else.
     pub perf: f64,
+    /// End-of-run observability snapshot (SchedScope).
+    pub obs: SchedObs,
 }
 
 /// Run one suite entry to completion under `sched` and measure it.
@@ -227,6 +254,7 @@ pub fn perf_of(entry: &Entry, k: &Kernel, app: AppId, done: bool) -> PerfResult 
         elapsed_s: if done { elapsed } else { None },
         ops: a.ops,
         perf,
+        obs: obs_of(k),
     }
 }
 

@@ -1,0 +1,173 @@
+//! SchedScope end-to-end: trace export round-trips through the JSON
+//! parser, slice accounting matches the kernel's counters, per-CPU tracks
+//! never overlap, the apache preemption-attribution claim holds, and the
+//! `bench` latency probe separates the schedulers the way §5.1 says.
+
+use experiments::{bench, scope, RunCfg, Sched};
+use serde_json::Value;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+/// Parse an exported trace file into its `traceEvents` array.
+fn load_events(path: &std::path::Path) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    let doc = serde_json::from_str(&text).expect("trace must be valid JSON");
+    doc.get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("top-level traceEvents array")
+        .to_vec()
+}
+
+/// Timestamp/duration in integer nanoseconds (the writer emits fixed
+/// 3-decimal microseconds, so rounding is exact).
+fn ns(v: &Value) -> u64 {
+    (v.as_f64().expect("numeric ts/dur") * 1000.0).round() as u64
+}
+
+#[test]
+fn fig7_streamed_trace_round_trips() {
+    let out = tmp("schedscope-fig7.json");
+    let run = scope::run_trace("fig7", &Sched::BOTH, &RunCfg::at_scale(0.05), &out, true)
+        .expect("fig7 trace export");
+    assert!(run.streamed);
+    assert_eq!(run.reports.len(), 2);
+
+    let events = load_events(&out);
+    assert!(!events.is_empty(), "trace must contain events");
+
+    for (i, report) in run.reports.iter().enumerate() {
+        let pid = i as u64 + 1;
+        // Streaming loses nothing, so the group's task slices mirror the
+        // kernel's context-switch counter exactly.
+        assert_eq!(report.trace_dropped, 0, "streaming never drops");
+        let slices: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                    && e.get("pid").and_then(|p| p.as_u64()) == Some(pid)
+            })
+            .collect();
+        assert_eq!(
+            slices.len() as u64,
+            report.obs.counters.ctx_switches,
+            "{}: one slice per context switch",
+            report.sched.name()
+        );
+        assert_eq!(slices.len() as u64, report.slices);
+
+        // Per-CPU tracks must never overlap: sort each track's slices and
+        // require end <= next start (in integer nanoseconds).
+        let ncpu = 32; // opteron_6172
+        for cpu in 0..ncpu {
+            let mut spans: Vec<(u64, u64)> = slices
+                .iter()
+                .filter(|e| e.get("tid").and_then(|t| t.as_u64()) == Some(cpu))
+                .map(|e| {
+                    let start = ns(e.get("ts").unwrap());
+                    (start, start + ns(e.get("dur").unwrap()))
+                })
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "{} cpu{cpu}: slice [{}, {}] overlaps [{}, {}]",
+                    report.sched.name(),
+                    w[0].0,
+                    w[0].1,
+                    w[1].0,
+                    w[1].1
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn buffered_trace_exports_valid_json() {
+    let out = tmp("schedscope-fig1-buffered.json");
+    let run = scope::run_trace("fig1", &[Sched::Cfs], &RunCfg::at_scale(0.02), &out, false)
+        .expect("fig1 buffered export");
+    assert!(!run.streamed);
+    let events = load_events(&out);
+    assert!(!events.is_empty());
+    // The run fits the 1M-event flight recorder, so buffered mode is
+    // complete too and slice accounting still holds.
+    let r = &run.reports[0];
+    assert_eq!(r.trace_dropped, 0);
+    let slices = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count() as u64;
+    assert_eq!(slices, r.obs.counters.ctx_switches);
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn apache_preemption_attribution_matches_paper() {
+    // §5.3: "every request handled by apache causes ab to be preempted"
+    // on CFS (≈1 wakeup preemption per request), while ULE's disabled
+    // full preemption keeps the count at zero.
+    let out = tmp("schedscope-fig5.json");
+    let run = scope::run_trace("fig5", &Sched::BOTH, &RunCfg::at_scale(0.05), &out, true)
+        .expect("fig5 trace export");
+    let cfs = &run.reports[0];
+    let ule = &run.reports[1];
+    assert_eq!(cfs.sched, Sched::Cfs);
+    let cfs_ppo = cfs.preemptions_per_op.expect("apache counts requests");
+    assert!(
+        cfs_ppo > 0.5 && cfs_ppo < 2.0,
+        "CFS should preempt ab about once per request, got {cfs_ppo:.2}"
+    );
+    assert_eq!(
+        ule.obs.counters.wakeup_preemptions, 0,
+        "ULE keeps full preemption disabled for timeshare tasks"
+    );
+    // Attribution: the heaviest preemptor pair on CFS is httpd → ab.
+    let top = cfs
+        .analysis
+        .preempt_pairs
+        .first()
+        .expect("CFS has preemption pairs");
+    assert_eq!((top.by.as_str(), top.victim.as_str()), ("httpd", "ab"));
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn bench_latency_probe_separates_schedulers() {
+    // §5.1 on the fig1 single-core mix: ULE's starvation of the batch
+    // task produces a far worse worst-case run delay, while its
+    // interactive handling keeps the p99 (sysbench workers) far below
+    // CFS's fair-share queueing delay.
+    let r = bench::run(&RunCfg::at_scale(0.05));
+    assert_eq!(r.latency.len(), 2);
+    let cfs = &r.latency[0];
+    let ule = &r.latency[1];
+    assert_eq!((cfs.sched.as_str(), ule.sched.as_str()), ("CFS", "ULE"));
+    for p in &r.latency {
+        assert!(p.run_delay.count > 0, "{}: probe recorded samples", p.sched);
+        assert!(p.run_delay.max_ms >= p.run_delay.p99_ms);
+        assert!(p.run_delay.p99_ms >= p.run_delay.p50_ms);
+    }
+    assert!(
+        ule.run_delay.max_ms > cfs.run_delay.max_ms,
+        "ULE's starvation tail must exceed CFS's: {} vs {}",
+        ule.run_delay.max_ms,
+        cfs.run_delay.max_ms
+    );
+    assert!(
+        ule.wakeup_latency.p99_ms < cfs.wakeup_latency.p99_ms,
+        "ULE's interactive p99 must undercut CFS's: {} vs {}",
+        ule.wakeup_latency.p99_ms,
+        cfs.wakeup_latency.p99_ms
+    );
+    // The throughput rows carry the same distributions for the bench
+    // scenario itself.
+    for b in &r.results {
+        assert!(b.run_delay.count > 0);
+        assert!(b.wakeup_latency.count <= b.run_delay.count);
+    }
+}

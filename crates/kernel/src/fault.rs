@@ -108,7 +108,7 @@ impl Kernel {
         rt.blocked_on = None;
         self.counters.spurious_wakes += 1;
         if self.trace_on {
-            self.trace.push(TraceEvent::SpuriousWake {
+            self.emit(TraceEvent::SpuriousWake {
                 at: self.now,
                 tid: victim,
             });
@@ -135,7 +135,7 @@ impl Kernel {
         self.cpus[victim.index()].online = false;
         self.sched.cpu_offline(victim);
         if self.trace_on {
-            self.trace.push(TraceEvent::Hotplug {
+            self.emit(TraceEvent::Hotplug {
                 at: self.now,
                 cpu: victim,
                 online: false,
@@ -203,7 +203,7 @@ impl Kernel {
         self.cpus[cpu.index()].online = true;
         self.sched.cpu_online(cpu);
         if self.trace_on {
-            self.trace.push(TraceEvent::Hotplug {
+            self.emit(TraceEvent::Hotplug {
                 at: self.now,
                 cpu,
                 online: true,

@@ -24,9 +24,10 @@
 //! event. This is how ULE's expensive `sched_pickcpu` scans become visible
 //! as lost application throughput (§6.3 of the paper).
 
+use metrics::Histogram;
 use sched_api::{
-    DequeueKind, EnqueueKind, GroupId, Preempt, Scheduler, SelectStats, Task, TaskSnapshot,
-    TaskState, TaskTable, Tid, WakeKind,
+    DequeueKind, EnqueueKind, GroupId, Preempt, PreemptCause, Scheduler, SelectStats, Task,
+    TaskSnapshot, TaskState, TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, EventId, EventQueue, SimRng, Time};
 use topology::{CpuId, Topology};
@@ -39,7 +40,7 @@ use crate::error::SimError;
 use crate::fault::FaultOp;
 use crate::stats::{AppStats, Counters, CpuStats, DecisionHash};
 use crate::sync::{BlockedOn, OpOutcome, SyncTable};
-use crate::trace::TraceEvent;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Identifier of an application (a spawned [`AppSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -213,9 +214,20 @@ pub struct Kernel {
     pub(crate) counters: Counters,
     hash: DecisionHash,
     pub(crate) trace: simcore::TraceBuffer<TraceEvent>,
-    /// Tracing enabled? Cached from `cfg.trace_capacity > 0` so the hot
-    /// paths skip building [`TraceEvent`]s entirely when tracing is off.
+    /// Tracing enabled? Cached from `cfg.trace_capacity > 0` (or a sink
+    /// being installed) so the hot paths skip building [`TraceEvent`]s
+    /// entirely when tracing is off.
     pub(crate) trace_on: bool,
+    /// Streaming observer for trace events (SchedScope export). `None` in
+    /// normal runs; see [`Kernel::set_trace_sink`].
+    trace_sink: Option<Box<dyn TraceSink>>,
+    /// Distribution behind `Counters::max_runnable_wait`: how long each
+    /// dispatched task sat runnable before getting the CPU.
+    run_delay: Histogram,
+    /// Subset of `run_delay` where the wait started at a wakeup (rather
+    /// than a preemption): the paper's wakeup→dispatch latency, the
+    /// distribution in which ULE's disabled wakeup preemption shows up.
+    wakeup_latency: Histogram,
     rng: SimRng,
     ticking: bool,
     /// Reused buffer for `balance_tick` target CPUs (no per-tick allocation).
@@ -259,6 +271,9 @@ impl Kernel {
             hash: DecisionHash::default(),
             trace,
             trace_on,
+            trace_sink: None,
+            run_delay: Histogram::new(),
+            wakeup_latency: Histogram::new(),
             rng,
             ticking: false,
             balance_buf: Vec::new(),
@@ -375,6 +390,13 @@ impl Kernel {
         self.tasks.get(tid)
     }
 
+    /// Read access to the whole task table (exited tasks stay resolvable —
+    /// the kernel never removes entries — so post-run trace replays can
+    /// look up names the same way a live [`TraceSink`] does).
+    pub fn tasks(&self) -> &TaskTable {
+        &self.tasks
+    }
+
     /// Total CPU work performed by a task so far.
     pub fn task_runtime(&self, tid: Tid) -> Dur {
         self.tasks.get(tid).sum_exec
@@ -404,6 +426,53 @@ impl Kernel {
     /// [`SimConfig::trace_capacity`] is set).
     pub fn trace(&self) -> &simcore::TraceBuffer<TraceEvent> {
         &self.trace
+    }
+
+    /// Resize the flight-recorder buffer (discarding recorded events) and
+    /// enable/disable tracing accordingly. Call before running; tracing
+    /// never alters scheduling decisions, only what is observed.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.cfg.trace_capacity = capacity;
+        self.trace = simcore::TraceBuffer::with_capacity(capacity);
+        self.trace_on = capacity > 0 || self.trace_sink.is_some();
+    }
+
+    /// Install a streaming trace observer. Every subsequent trace event is
+    /// handed to `sink` as it happens, in addition to the flight-recorder
+    /// buffer (if any) — so full-scale runs can export complete traces
+    /// without an unbounded in-memory buffer. Implicitly enables tracing.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
+        self.trace_on = true;
+    }
+
+    /// Remove and return the installed trace sink (e.g. to flush/finish
+    /// it after a run). Tracing stays on only if a buffer is configured.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let sink = self.trace_sink.take();
+        self.trace_on = self.cfg.trace_capacity > 0;
+        sink
+    }
+
+    /// Distribution of runnable→running dispatch delays (all dispatches).
+    pub fn run_delay(&self) -> &Histogram {
+        &self.run_delay
+    }
+
+    /// Distribution of wakeup→dispatch delays (dispatches whose wait
+    /// started at a wakeup rather than a preemption).
+    pub fn wakeup_latency(&self) -> &Histogram {
+        &self.wakeup_latency
+    }
+
+    /// Record `ev` into the flight recorder and the streaming sink (if
+    /// any). Callers gate on `self.trace_on` so the disabled path stays
+    /// free of event construction.
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace_sink.as_mut() {
+            sink.event(&ev, &self.tasks);
+        }
+        self.trace.push(ev);
     }
 
     // ------------------------------------------------------------------
@@ -544,8 +613,9 @@ impl Kernel {
         }
         self.account_segment(cpu);
         if let Some(curr) = self.cpus[cpu.index()].current {
-            if let Preempt::Yes = self.sched.task_tick(&mut self.tasks, cpu, curr, self.now) {
-                self.request_resched(cpu);
+            if let Preempt::Yes(cause) = self.sched.task_tick(&mut self.tasks, cpu, curr, self.now)
+            {
+                self.request_resched(cpu, cause);
             }
         }
         // The balance target buffer is owned by the kernel and reused every
@@ -826,7 +896,7 @@ impl Kernel {
             .enqueue_task(&mut self.tasks, target, tid, ekind, self.now);
         self.hash.record(1, self.now, tid.0, target.0);
         if self.trace_on && !is_new {
-            self.trace.push(TraceEvent::Wakeup {
+            self.emit(TraceEvent::Wakeup {
                 at: self.now,
                 tid,
                 cpu: target,
@@ -835,9 +905,22 @@ impl Kernel {
         }
         let idle = self.cpus[target.index()].current.is_none();
         match preempt {
-            Preempt::Yes if !idle => {
+            Preempt::Yes(cause) if !idle => {
+                let victim = self.cpus[target.index()].current;
                 self.cpus[target.index()].resched_pending = true;
                 self.counters.preemptions += 1;
+                self.counters.wakeup_preemptions += 1;
+                if self.trace_on {
+                    if let Some(victim) = victim {
+                        self.emit(TraceEvent::Preempt {
+                            at: self.now,
+                            cpu: target,
+                            victim,
+                            by: Some(tid),
+                            cause,
+                        });
+                    }
+                }
                 self.events.push(self.now, Event::Resched(target));
             }
             _ if idle => {
@@ -951,13 +1034,25 @@ impl Kernel {
     // Scheduling core
     // ------------------------------------------------------------------
 
-    fn request_resched(&mut self, cpu: CpuId) {
+    fn request_resched(&mut self, cpu: CpuId, cause: PreemptCause) {
         let c = &mut self.cpus[cpu.index()];
-        if c.current.is_some() && !c.resched_pending {
-            c.resched_pending = true;
-            self.counters.preemptions += 1;
-            self.events.push(self.now, Event::Resched(cpu));
+        let Some(victim) = c.current else { return };
+        if c.resched_pending {
+            return;
         }
+        c.resched_pending = true;
+        self.counters.preemptions += 1;
+        self.counters.tick_preemptions += 1;
+        if self.trace_on {
+            self.emit(TraceEvent::Preempt {
+                at: self.now,
+                cpu,
+                victim,
+                by: None,
+                cause,
+            });
+        }
+        self.events.push(self.now, Event::Resched(cpu));
     }
 
     /// Take the current task off the CPU, saving its remaining work, and
@@ -1020,7 +1115,7 @@ impl Kernel {
         t.state = TaskState::Dead;
         t.on_rq = false;
         if self.trace_on {
-            self.trace.push(TraceEvent::Exit { at: self.now, tid });
+            self.emit(TraceEvent::Exit { at: self.now, tid });
         }
         let rt = self.rt_mut(tid)?;
         rt.cont = Cont::Done;
@@ -1063,7 +1158,7 @@ impl Kernel {
             let Some(tid) = picked else {
                 self.cpus[cpu.index()].current = None;
                 if self.trace_on {
-                    self.trace.push(TraceEvent::Idle { at: self.now, cpu });
+                    self.emit(TraceEvent::Idle { at: self.now, cpu });
                 }
                 return Ok(());
             };
@@ -1083,7 +1178,10 @@ impl Kernel {
             {
                 let t = self.tasks.get_mut(tid);
                 // The scheduling-latency headline metric: how long this
-                // task sat runnable before getting the CPU.
+                // task sat runnable before getting the CPU. A wait that
+                // started at a wakeup (not a preemption) is additionally
+                // the paper's wakeup→dispatch latency.
+                let from_wakeup = t.last_wakeup >= t.last_ran;
                 let waited_since = if t.last_ran > t.last_wakeup {
                     t.last_ran
                 } else {
@@ -1095,6 +1193,10 @@ impl Kernel {
                 if wait > self.counters.max_runnable_wait {
                     self.counters.max_runnable_wait = wait;
                 }
+                self.run_delay.record(wait);
+                if from_wakeup {
+                    self.wakeup_latency.record(wait);
+                }
             }
             let c = &mut self.cpus[cpu.index()];
             c.current = Some(tid);
@@ -1104,7 +1206,7 @@ impl Kernel {
                 self.counters.ctx_switches += 1;
                 self.hash.record(3, self.now, tid.0, cpu.0);
                 if self.trace_on {
-                    self.trace.push(TraceEvent::Switch {
+                    self.emit(TraceEvent::Switch {
                         at: self.now,
                         cpu,
                         from: prev_tid,
@@ -1120,6 +1222,14 @@ impl Kernel {
                 let cost = self.cfg.migration_cost_per_distance.saturating_mul(dist);
                 self.cpus[cpu.index()].pending_overhead += cost;
                 self.cpus[cpu.index()].stats.overhead += cost;
+                if self.trace_on {
+                    self.emit(TraceEvent::Migrate {
+                        at: self.now,
+                        tid,
+                        from,
+                        to: cpu,
+                    });
+                }
             }
 
             let cont = std::mem::replace(&mut self.rt_mut(tid)?.cont, Cont::NeedAction);

@@ -35,4 +35,4 @@ pub use kernel::{AppId, AppSpec, Kernel};
 pub use simple::SimpleRR;
 pub use stats::{AppStats, Counters, CpuStats};
 pub use sync::BlockedOn;
-pub use trace::TraceEvent;
+pub use trace::{TraceEvent, TraceSink};

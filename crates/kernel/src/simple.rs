@@ -11,8 +11,8 @@
 use std::collections::VecDeque;
 
 use sched_api::{
-    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, TaskTable, Tid,
-    WakeKind,
+    DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot,
+    TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, Time};
 use topology::{CpuId, Topology};
@@ -145,7 +145,7 @@ impl Scheduler for SimpleRR {
         let rq = self.rq(cpu);
         debug_assert_eq!(rq.curr, Some(curr));
         if !rq.queue.is_empty() && now.saturating_since(rq.slice_start) >= SLICE {
-            Preempt::Yes
+            Preempt::Yes(PreemptCause::SliceExpired)
         } else {
             Preempt::No
         }

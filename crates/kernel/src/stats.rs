@@ -2,15 +2,23 @@
 //! (cgroup) completion/throughput/latency records, and the determinism hash.
 
 use sched_api::GroupId;
+use serde::Serialize;
 use simcore::{Dur, Fnv1a, Time};
 
-/// Global scheduler-activity counters.
-#[derive(Debug, Default, Clone)]
+/// Global scheduler-activity counters. Serializes as a structured snapshot
+/// in every figure's JSON dump (SchedScope).
+#[derive(Debug, Default, Clone, Serialize)]
 pub struct Counters {
     /// Context switches (task → different task or idle → task).
     pub ctx_switches: u64,
     /// Involuntary preemptions (tick/wakeup-driven reschedules).
     pub preemptions: u64,
+    /// Preemptions triggered by an enqueue (CFS wakeup-granularity check,
+    /// ULE kernel-thread enqueue). ULE keeps this at zero for timeshare
+    /// workloads — the paper's "full preemption is disabled" behaviour.
+    pub wakeup_preemptions: u64,
+    /// Preemptions triggered by `task_tick` (slice expiry / fairness).
+    pub tick_preemptions: u64,
     /// Wakeups processed.
     pub wakeups: u64,
     /// Tasks moved between CPUs by the balancers.

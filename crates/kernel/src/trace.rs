@@ -1,12 +1,17 @@
-//! Scheduling trace events (flight recorder).
+//! Scheduling trace events (flight recorder + streaming sinks).
 //!
 //! When [`crate::SimConfig::trace_capacity`] is non-zero, the kernel
 //! records every externally visible scheduling decision into a bounded
 //! [`simcore::TraceBuffer`]. Experiments use traces for fine-grained
 //! analyses (e.g. per-hop latencies of the c-ray cascade); tests use them
 //! to assert event orderings.
+//!
+//! For runs whose traces exceed any reasonable in-memory bound, a
+//! [`TraceSink`] can be installed with [`crate::Kernel::set_trace_sink`]:
+//! every event is handed to the sink as it happens (SchedScope's streaming
+//! Chrome-trace export uses this to write straight to disk).
 
-use sched_api::Tid;
+use sched_api::{PreemptCause, TaskTable, Tid};
 use simcore::Time;
 use topology::CpuId;
 
@@ -65,6 +70,31 @@ pub enum TraceEvent {
         /// The victim task.
         tid: Tid,
     },
+    /// The running task on `cpu` was marked for preemption.
+    Preempt {
+        /// When it happened.
+        at: Time,
+        /// The CPU whose current task will be rescheduled.
+        cpu: CpuId,
+        /// The task losing the CPU.
+        victim: Tid,
+        /// The enqueued task that triggered the preemption (`None` for
+        /// tick-driven preemptions).
+        by: Option<Tid>,
+        /// Why the scheduling class asked for it.
+        cause: PreemptCause,
+    },
+    /// A task was dispatched on a different CPU than it last ran on.
+    Migrate {
+        /// When it happened (dispatch time on the new CPU).
+        at: Time,
+        /// The migrating task.
+        tid: Tid,
+        /// Where it last ran.
+        from: CpuId,
+        /// Where it is running now.
+        to: CpuId,
+    },
 }
 
 impl TraceEvent {
@@ -76,7 +106,9 @@ impl TraceEvent {
             | TraceEvent::Idle { at, .. }
             | TraceEvent::Exit { at, .. }
             | TraceEvent::Hotplug { at, .. }
-            | TraceEvent::SpuriousWake { at, .. } => at,
+            | TraceEvent::SpuriousWake { at, .. }
+            | TraceEvent::Preempt { at, .. }
+            | TraceEvent::Migrate { at, .. } => at,
         }
     }
 
@@ -86,10 +118,25 @@ impl TraceEvent {
             TraceEvent::Switch { to, .. } => Some(to),
             TraceEvent::Wakeup { tid, .. }
             | TraceEvent::Exit { tid, .. }
-            | TraceEvent::SpuriousWake { tid, .. } => Some(tid),
+            | TraceEvent::SpuriousWake { tid, .. }
+            | TraceEvent::Migrate { tid, .. } => Some(tid),
+            TraceEvent::Preempt { victim, .. } => Some(victim),
             TraceEvent::Idle { .. } | TraceEvent::Hotplug { .. } => None,
         }
     }
+}
+
+/// Observer of trace events as they are recorded.
+///
+/// Installed with [`crate::Kernel::set_trace_sink`]; the kernel calls
+/// [`TraceSink::event`] for every event *in addition to* appending it to
+/// the flight-recorder buffer (if one is configured). `tasks` is the live
+/// task table at event time, so sinks can resolve names and per-task state
+/// without keeping their own copies. Sinks must not assume events arrive
+/// at distinct timestamps.
+pub trait TraceSink {
+    /// Observe one event.
+    fn event(&mut self, ev: &TraceEvent, tasks: &TaskTable);
 }
 
 #[cfg(test)]

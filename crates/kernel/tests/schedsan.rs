@@ -5,8 +5,8 @@
 
 use kernel::{cpu_hog, AppSpec, CheckMode, FaultPlan, Kernel, SimConfig, SimError, ThreadSpec};
 use sched_api::{
-    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, TaskTable, Tid,
-    WakeKind,
+    DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot,
+    TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, Time};
 use topology::{CpuId, Topology};
@@ -102,7 +102,7 @@ impl Scheduler for LossySched {
         if self.queue.is_empty() {
             Preempt::No
         } else {
-            Preempt::Yes
+            Preempt::Yes(PreemptCause::SliceExpired)
         }
     }
     fn task_fork(&mut self, _tasks: &TaskTable, _child: Tid, _parent: Option<Tid>, _now: Time) {}

@@ -53,7 +53,9 @@ impl Histogram {
         Dur(self.max_ns)
     }
 
-    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    /// Approximate quantile (bucket upper bound, clamped to the observed
+    /// maximum so a coarse top bucket never reports a value larger than any
+    /// sample), `q` in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Dur {
         if self.count == 0 {
             return Dur::ZERO;
@@ -63,11 +65,44 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return Dur::micros(1u64 << (i + 1));
+                // The upper bound of bucket `i` is `2^(i+1)` µs. For the
+                // top buckets that exceeds u64 nanoseconds, so compute it
+                // in u128 and saturate instead of shifting into oblivion.
+                let bound_ns = (1u128 << (i + 1)) * 1_000;
+                let bound = Dur(bound_ns.min(u64::MAX as u128) as u64);
+                return bound.min(self.max());
             }
         }
         self.max()
     }
+
+    /// Compact p50/p99/max summary for reports and JSON dumps.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ms: self.mean().as_secs_f64() * 1e3,
+            p50_ms: self.quantile(0.5).as_secs_f64() * 1e3,
+            p99_ms: self.quantile(0.99).as_secs_f64() * 1e3,
+            max_ms: self.max().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`]: sample count plus
+/// mean/p50/p99/max in milliseconds. This is the shape every figure's JSON
+/// dump and `battle bench` embed for run-delay reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples behind the percentiles.
+    pub count: u64,
+    /// Mean sample, milliseconds.
+    pub mean_ms: f64,
+    /// Median (bucket upper bound), milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile (bucket upper bound), milliseconds.
+    pub p99_ms: f64,
+    /// Largest sample, milliseconds.
+    pub max_ms: f64,
 }
 
 impl Default for Histogram {
@@ -115,5 +150,40 @@ mod tests {
         h.record(Dur::nanos(10));
         assert_eq!(h.count(), 1);
         assert!(h.quantile(1.0) <= Dur::micros(2));
+    }
+
+    /// Regression: a sample in a high bucket used to make `quantile`
+    /// compute `Dur::micros(1u64 << (i + 1))`, overflowing u64 (panic in
+    /// debug, garbage in release) once the bucket bound exceeded ~2^54 µs.
+    #[test]
+    fn top_bucket_quantile_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(Dur(u64::MAX));
+        assert_eq!(h.quantile(0.5), Dur(u64::MAX));
+        assert_eq!(h.quantile(1.0), Dur(u64::MAX));
+    }
+
+    /// Regression: quantiles are clamped to the observed maximum instead of
+    /// reporting a bucket upper bound no sample ever reached.
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let mut h = Histogram::new();
+        h.record(Dur::millis(100));
+        assert_eq!(h.quantile(0.99), Dur::millis(100));
+        let mut lo = Histogram::new();
+        lo.record(Dur::micros(3));
+        assert_eq!(lo.quantile(1.0), Dur::micros(3));
+    }
+
+    #[test]
+    fn summary_shape() {
+        let mut h = Histogram::new();
+        for i in 1..=10u64 {
+            h.record(Dur::millis(i));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert!(s.p50_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+        assert!((s.max_ms - 10.0).abs() < 1e-9);
     }
 }

@@ -22,7 +22,7 @@ pub mod series;
 pub mod table;
 
 pub use ascii::BarChart;
-pub use hist::Histogram;
+pub use hist::{Histogram, LatencySummary};
 pub use percore::PerCoreSeries;
 pub use series::TimeSeries;
 pub use table::Table;

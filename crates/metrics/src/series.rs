@@ -38,21 +38,32 @@ impl TimeSeries {
         self.points.last().map(|&(_, v)| v)
     }
 
-    /// Largest sampled value.
+    /// Largest sampled value (0.0 for an empty series, so axis labels and
+    /// scale computations never see `f64::MIN`).
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max)
+        self.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max)
     }
 
-    /// Render several series as a CSV with a shared time column (series
-    /// must have been sampled at the same instants).
-    pub fn to_csv(series: &[&TimeSeries]) -> String {
+    /// Render several series as a CSV with a shared time column. The series
+    /// must have been sampled at the same instants; mismatched lengths are
+    /// an error (rows would otherwise be silently dropped).
+    pub fn to_csv(series: &[&TimeSeries]) -> Result<String, String> {
         let mut out = String::from("time_s");
         for s in series {
             out.push(',');
             out.push_str(&s.name);
         }
         out.push('\n');
-        let n = series.iter().map(|s| s.points.len()).min().unwrap_or(0);
+        let n = series.first().map(|s| s.points.len()).unwrap_or(0);
+        if let Some(s) = series.iter().find(|s| s.points.len() != n) {
+            return Err(format!(
+                "series length mismatch: \"{}\" has {} samples, \"{}\" has {}",
+                series[0].name,
+                n,
+                s.name,
+                s.points.len()
+            ));
+        }
         for i in 0..n {
             out.push_str(&format!("{:.3}", series[0].points[i].0));
             for s in series {
@@ -60,13 +71,17 @@ impl TimeSeries {
             }
             out.push('\n');
         }
-        out
+        Ok(out)
     }
 
     /// Render series as a compact multi-line ASCII chart: one character
     /// column per sample bucket, `height` rows.
     pub fn ascii_chart(series: &[&TimeSeries], width: usize, height: usize) -> String {
-        if series.is_empty() || series.iter().all(|s| s.points.is_empty()) {
+        if width == 0
+            || height == 0
+            || series.is_empty()
+            || series.iter().all(|s| s.points.is_empty())
+        {
             return String::from("(no data)\n");
         }
         let tmax = series
@@ -131,11 +146,43 @@ mod tests {
             a.push(Time(i * 1_000_000_000), i as f64);
             b.push(Time(i * 1_000_000_000), (i * 2) as f64);
         }
-        let csv = TimeSeries::to_csv(&[&a, &b]);
+        let csv = TimeSeries::to_csv(&[&a, &b]).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_s,a,b");
         assert_eq!(lines.len(), 4);
         assert!(lines[2].starts_with("1.000,1.000000,2.000000"));
+    }
+
+    /// Regression: `max()` used to fold from `f64::MIN`, so an empty series
+    /// reported `-1.7e308` and poisoned `ascii_chart`'s vmax axis label.
+    #[test]
+    fn empty_series_max_is_zero() {
+        let s = TimeSeries::new("empty");
+        assert_eq!(s.max(), 0.0);
+    }
+
+    /// Regression: `to_csv` used to truncate every column to the shortest
+    /// series, silently dropping samples. Mismatched lengths now error.
+    #[test]
+    fn csv_rejects_mismatched_lengths() {
+        let mut a = TimeSeries::new("a");
+        let mut b = TimeSeries::new("b");
+        a.push(Time::ZERO, 1.0);
+        a.push(Time(1_000_000_000), 2.0);
+        b.push(Time::ZERO, 1.0);
+        let err = TimeSeries::to_csv(&[&a, &b]).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+        assert!(TimeSeries::to_csv(&[]).is_ok());
+    }
+
+    /// Regression: `ascii_chart` used to compute `width - 1` and index
+    /// zero-height grids, panicking on degenerate sizes.
+    #[test]
+    fn ascii_chart_zero_sizes_are_graceful() {
+        let mut a = TimeSeries::new("a");
+        a.push(Time::ZERO, 1.0);
+        assert_eq!(TimeSeries::ascii_chart(&[&a], 0, 8), "(no data)\n");
+        assert_eq!(TimeSeries::ascii_chart(&[&a], 40, 0), "(no data)\n");
     }
 
     #[test]

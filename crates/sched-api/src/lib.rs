@@ -24,6 +24,6 @@ pub mod weights;
 
 pub use ids::{GroupId, Tid};
 pub use sched::{
-    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, WakeKind,
+    DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot, WakeKind,
 };
 pub use task::{Task, TaskState, TaskTable};

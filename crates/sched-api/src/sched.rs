@@ -69,8 +69,42 @@ pub enum DequeueKind {
 pub enum Preempt {
     /// Keep running the current task.
     No,
-    /// Reschedule the CPU as soon as possible.
-    Yes,
+    /// Reschedule the CPU as soon as possible, for the given reason. The
+    /// cause is observability metadata only (counters, trace attribution);
+    /// the kernel reacts identically to every cause.
+    Yes(PreemptCause),
+}
+
+/// Why a scheduling class asked for a preemption. The paper's headline
+/// behavioural difference — CFS preempts on wakeup, ULE makes timeshare
+/// wakeups wait for the slice to expire (§2, Fig 5 apache analysis) — is
+/// directly visible in which causes each scheduler ever emits. SchedScope
+/// aggregates these per (preemptor, victim) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptCause {
+    /// A waking task beat the running one (CFS `check_preempt_wakeup`'s
+    /// vruntime + wakeup-granularity test).
+    Wakeup,
+    /// A kernel thread was enqueued (ULE: the only wakeup preemption
+    /// allowed when full preemption is disabled).
+    KernelThread,
+    /// The running task's timeslice expired on a tick.
+    SliceExpired,
+    /// A tick-time fairness check fired (CFS `check_preempt_tick`: curr's
+    /// vruntime ran too far ahead of the leftmost waiter).
+    Fairness,
+}
+
+impl PreemptCause {
+    /// Stable lowercase label for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PreemptCause::Wakeup => "wakeup",
+            PreemptCause::KernelThread => "kernel-thread",
+            PreemptCause::SliceExpired => "slice-expired",
+            PreemptCause::Fairness => "fairness",
+        }
+    }
 }
 
 /// Out-parameters of [`Scheduler::select_task_rq`] used to charge the waking

@@ -35,8 +35,8 @@ pub mod runq;
 use std::collections::BTreeMap;
 
 use sched_api::{
-    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, TaskTable, Tid,
-    WakeKind,
+    DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot,
+    TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, SimRng, Time};
 use topology::{CpuId, Topology};
@@ -375,7 +375,7 @@ impl Scheduler for Ule {
         // "In ULE, full preemption is disabled, meaning that only kernel
         // threads can preempt others" (§2.2/§5.3).
         if tasks.get(tid).kernel_thread {
-            Preempt::Yes
+            Preempt::Yes(PreemptCause::KernelThread)
         } else {
             Preempt::No
         }
@@ -471,7 +471,7 @@ impl Scheduler for Ule {
         if now.saturating_since(ts.slice_start) >= slice {
             ts.slice_start = now;
             if load > 1 {
-                return Preempt::Yes;
+                return Preempt::Yes(PreemptCause::SliceExpired);
             }
         }
         Preempt::No

@@ -14,8 +14,8 @@ use std::collections::VecDeque;
 use battle_of_schedulers::{Machine, SchedulerKind, Simulation};
 use kernel::{cpu_hog, AppSpec, ThreadSpec};
 use sched_api::{
-    DequeueKind, EnqueueKind, Preempt, Scheduler, SelectStats, TaskSnapshot, TaskTable, Tid,
-    WakeKind,
+    DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot,
+    TaskTable, Tid, WakeKind,
 };
 use simcore::{Dur, SimRng, Time};
 use topology::{CpuId, Topology};
@@ -113,7 +113,7 @@ impl Scheduler for RandomPlacement {
         if !self.rqs[cpu.index()].is_empty()
             && now.saturating_since(self.slice_start[cpu.index()]) >= Dur::millis(20)
         {
-            Preempt::Yes
+            Preempt::Yes(PreemptCause::SliceExpired)
         } else {
             Preempt::No
         }
