@@ -193,6 +193,84 @@ pub fn report(r: &BenchReport) -> String {
     s
 }
 
+/// One scheduler's regression verdict from [`compare`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CompareRow {
+    /// Scheduler name.
+    pub sched: String,
+    /// Baseline events/sec.
+    pub baseline: f64,
+    /// Current events/sec.
+    pub current: f64,
+    /// Relative change, percent (negative = slower).
+    pub delta_pct: f64,
+}
+
+/// Outcome of the bench-regression gate.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub enum Verdict {
+    /// Within the warn tolerance.
+    Ok,
+    /// Slower than the warn tolerance but within the fail tolerance —
+    /// CI annotates but stays green.
+    Warn,
+    /// Slower than the fail tolerance — CI goes red.
+    Fail,
+}
+
+/// Compare a fresh report against the committed `BENCH_sim.json` baseline
+/// text. Regressions beyond `warn_pct` warn; beyond `fail_pct` fail.
+/// Speedups never fail (a faster simulator just moves the baseline).
+///
+/// Wall-clock throughput is noisy across machines, so the gate is
+/// deliberately loose: the committed baseline is refreshed whenever the
+/// hot path intentionally changes.
+pub fn compare(
+    baseline_json: &str,
+    current: &BenchReport,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Result<(Vec<CompareRow>, Verdict), String> {
+    let base = serde_json::from_str(baseline_json).map_err(|e| format!("bad baseline: {e}"))?;
+    let results = base
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or("baseline has no `results` array")?;
+    let mut rows = Vec::new();
+    let mut verdict = Verdict::Ok;
+    for cur in &current.results {
+        let Some(b) = results
+            .iter()
+            .find(|r| r.get("sched").and_then(|s| s.as_str()) == Some(cur.sched.as_str()))
+        else {
+            return Err(format!("baseline has no entry for {}", cur.sched));
+        };
+        let baseline = b
+            .get("events_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("baseline {} has no events_per_sec", cur.sched))?;
+        if baseline <= 0.0 {
+            return Err(format!(
+                "baseline {} events_per_sec is not positive",
+                cur.sched
+            ));
+        }
+        let delta_pct = (cur.events_per_sec - baseline) / baseline * 100.0;
+        if delta_pct < -fail_pct {
+            verdict = Verdict::Fail;
+        } else if delta_pct < -warn_pct && verdict == Verdict::Ok {
+            verdict = Verdict::Warn;
+        }
+        rows.push(CompareRow {
+            sched: cur.sched.clone(),
+            baseline,
+            current: cur.events_per_sec,
+            delta_pct,
+        });
+    }
+    Ok((rows, verdict))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,8 +37,8 @@
 use std::io::Write;
 
 use experiments::{
-    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz, runner,
-    scope, table1, table2, RunCfg, Sched,
+    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz, golden,
+    runner, scenarios, scope, table1, table2, RunCfg, Sched,
 };
 use kernel::CheckMode;
 
@@ -53,6 +53,14 @@ struct Args {
     out: String,
     /// `battle trace`: stream events to disk instead of buffering.
     stream: bool,
+    /// `battle run`: scenario files/directories (positional).
+    paths: Vec<String>,
+    /// `battle run --trace`: export a Chrome-trace per scenario.
+    trace: bool,
+    /// `battle golden --write`: record digests instead of checking.
+    write: bool,
+    /// `battle bench --compare PATH`: baseline JSON for the perf gate.
+    compare: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,10 +72,17 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_fig = None;
     let mut out = String::from("trace.json");
     let mut stream = false;
+    let mut paths = Vec::new();
+    let mut trace = false;
+    let mut write = false;
+    let mut compare = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next().ok_or("missing value for --out")?,
             "--stream" => stream = true,
+            "--trace" => trace = true,
+            "--write" => write = true,
+            "--compare" => compare = Some(args.next().ok_or("missing value for --compare")?),
             "--check" => {
                 let v = args.next().ok_or("missing value for --check")?;
                 match v.as_str() {
@@ -128,6 +143,9 @@ fn parse_args() -> Result<Args, String> {
             other if experiment == "trace" && !other.starts_with('-') && trace_fig.is_none() => {
                 trace_fig = Some(other.to_string());
             }
+            other if experiment == "run" && !other.starts_with('-') => {
+                paths.push(other.to_string());
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -140,15 +158,23 @@ fn parse_args() -> Result<Args, String> {
         trace_fig,
         out,
         stream,
+        paths,
+        trace,
+        write,
+        compare,
     })
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|all> \
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|golden|all> \
      [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
      fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX]\n\
      trace usage: battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream] [--sched cfs|ule|both]\n\
-                  exports a Chrome-trace/Perfetto JSON of the figure's scenario (default out: trace.json)"
+                  exports a Chrome-trace/Perfetto JSON of the figure's scenario (default out: trace.json)\n\
+     run usage:   battle run <scenario.toml|dir>... [--sched cfs|ule|both] [--trace] [--json PATH]\n\
+                  executes declarative scenario files (see scenarios/ and EXPERIMENTS.md)\n\
+     golden:      battle golden [--write] — check (or record) the pinned decision digests\n\
+     bench gate:  battle bench --compare BENCH_sim.json — fail on >30 % events/sec regression"
         .to_string()
 }
 
@@ -180,9 +206,55 @@ fn print_validation(name: &str, problems: Vec<String>) {
     }
 }
 
+/// `battle bench --compare`: diff a fresh report against the committed
+/// baseline. Warn-only within 30 %, hard-fail beyond. The warn prints a
+/// GitHub `::warning::` annotation so CI surfaces it without going red.
+fn bench_gate(baseline_path: &str, report: &bench::BenchReport) -> bool {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    match bench::compare(&baseline, report, 15.0, 30.0) {
+        Ok((rows, verdict)) => {
+            println!("\nbench gate vs {baseline_path} (warn >15 %, fail >30 % slower):");
+            for r in &rows {
+                println!(
+                    "  {}: {:.0} -> {:.0} events/s ({:+.1} %)",
+                    r.sched, r.baseline, r.current, r.delta_pct
+                );
+            }
+            match verdict {
+                bench::Verdict::Ok => {
+                    println!("  within tolerance");
+                    true
+                }
+                bench::Verdict::Warn => {
+                    println!(
+                        "::warning title=bench regression::simulator events/sec dropped >15 % \
+                         vs committed baseline (see job log)"
+                    );
+                    true
+                }
+                bench::Verdict::Fail => {
+                    eprintln!("bench gate FAILED: >30 % slower than the committed baseline");
+                    false
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            false
+        }
+    }
+}
+
 /// Run one experiment; returns `false` if a requested JSON dump failed or
 /// (for `fuzz`) an invariant violation was found.
-fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>, fz: &fuzz::FuzzCfg) -> bool {
+fn run_one(name: &str, args: &Args, json: &Option<String>) -> bool {
+    let (cfg, fz) = (&args.cfg, &args.fuzz);
     let ok = match name {
         "table1" => {
             print!("{}", table1::report());
@@ -263,9 +335,14 @@ fn run_one(name: &str, cfg: &RunCfg, json: &Option<String>, fz: &fuzz::FuzzCfg) 
             let r = bench::run(cfg);
             print!("{}", bench::report(&r));
             // `bench` always writes its JSON artifact; --json overrides the
-            // default path.
+            // default path. The gate baseline is read before the write so
+            // the committed BENCH_sim.json can be both baseline and output.
+            let gate_ok = match &args.compare {
+                Some(p) => bench_gate(p, &r),
+                None => true,
+            };
             let path = Some(json.clone().unwrap_or_else(|| "BENCH_sim.json".into()));
-            dump_json(&path, &r)
+            dump_json(&path, &r) && gate_ok
         }
         other => {
             eprintln!("unknown experiment {other}\n{}", usage());
@@ -318,6 +395,43 @@ fn main() {
         }
         return;
     }
+    if args.experiment == "run" {
+        if args.paths.is_empty() {
+            eprintln!(
+                "run needs at least one scenario file or directory\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+        let sched_override = match args.fuzz.scheds.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        };
+        ok = scenarios::cli(
+            &args.paths,
+            &args.cfg,
+            sched_override,
+            args.trace,
+            &args.json,
+        );
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.experiment == "golden" {
+        ok = if args.write {
+            golden::write_all()
+        } else {
+            golden::check_all()
+        };
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.experiment == "all" {
         for name in [
             "table1",
@@ -336,14 +450,13 @@ fn main() {
             println!("════════════════════════ {name} ════════════════════════");
             ok &= run_one(
                 name,
-                &args.cfg,
+                &args,
                 &args.json.as_ref().map(|p| format!("{p}.{name}.json")),
-                &args.fuzz,
             );
             println!();
         }
     } else {
-        ok = run_one(&args.experiment, &args.cfg, &args.json, &args.fuzz);
+        ok = run_one(&args.experiment, &args, &args.json);
     }
     if !ok {
         std::process::exit(1);

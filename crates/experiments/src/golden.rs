@@ -1,0 +1,338 @@
+//! `battle golden` — the golden-digest regression gate.
+//!
+//! A manifest of small-scale figure and scenario runs, each pinned at a
+//! fixed scale and seed. `battle golden --write` records every run's
+//! decision digest under `results/golden/<name>.digest`; plain
+//! `battle golden` re-runs the manifest and diffs against the committed
+//! files, printing a side-by-side divergence report. Any change to
+//! scheduler decision-making — intended or not — shows up here before it
+//! shows up in a figure.
+
+use simcore::Fnv1a;
+
+use scenario::{EngineOpts, Sched};
+
+use crate::{fig1, fig5, fig6, fig7, runner, RunCfg};
+
+/// What a manifest entry runs.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A hardcoded figure driver.
+    Fig(&'static str),
+    /// A scenario file, relative to the repo root.
+    Scenario(&'static str),
+}
+
+/// One pinned digest target.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Golden-file stem (`results/golden/<name>.digest`).
+    pub name: &'static str,
+    /// What to run.
+    pub job: Job,
+    /// Pinned scale.
+    pub scale: f64,
+}
+
+/// Pinned seed for every golden run.
+pub const SEED: u64 = 42;
+
+/// The manifest: every digest the CI gate pins.
+pub fn manifest() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "fig1",
+            job: Job::Fig("fig1"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "fig5",
+            job: Job::Fig("fig5"),
+            scale: 0.02,
+        },
+        Entry {
+            name: "fig6",
+            job: Job::Fig("fig6"),
+            scale: 0.02,
+        },
+        Entry {
+            name: "fig7",
+            job: Job::Fig("fig7"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-fig1",
+            job: Job::Scenario("scenarios/fig1.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-fig6",
+            job: Job::Scenario("scenarios/fig6.toml"),
+            scale: 0.02,
+        },
+        Entry {
+            name: "sc-fig7",
+            job: Job::Scenario("scenarios/fig7.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-numa-imbalance",
+            job: Job::Scenario("scenarios/numa-imbalance.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-priority-inversion",
+            job: Job::Scenario("scenarios/priority-inversion.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-bursty-server",
+            job: Job::Scenario("scenarios/bursty-server.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-thundering-herd",
+            job: Job::Scenario("scenarios/thundering-herd.toml"),
+            scale: 0.05,
+        },
+        Entry {
+            name: "sc-mixed-nice",
+            job: Job::Scenario("scenarios/mixed-nice.toml"),
+            scale: 0.05,
+        },
+    ]
+}
+
+/// Digests of one manifest entry, CFS then ULE.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EntryDigests {
+    /// Entry name.
+    pub name: String,
+    /// `(scheduler, digest)` pairs in run order.
+    pub digests: Vec<(String, u64)>,
+    /// Error while computing (scenario parse failure, crash).
+    pub error: Option<String>,
+}
+
+/// Fold a list of per-row digests into one (order-sensitive), used for
+/// fig5 where the digest is per suite entry per scheduler.
+fn fold(digests: impl Iterator<Item = u64>) -> u64 {
+    let mut h = Fnv1a::new();
+    for d in digests {
+        h.write_u64(d);
+    }
+    h.finish()
+}
+
+fn compute(entry: &Entry) -> EntryDigests {
+    let cfg = RunCfg {
+        scale: entry.scale,
+        seed: SEED,
+    };
+    let mut out = EntryDigests {
+        name: entry.name.to_string(),
+        digests: Vec::new(),
+        error: None,
+    };
+    match &entry.job {
+        Job::Fig("fig1") => {
+            let fig = fig1::run_both(&cfg);
+            let cfs = fig.cfs.obs.as_ref().map(|o| o.digest).unwrap_or(0);
+            let ule = fig.ule.obs.as_ref().map(|o| o.digest).unwrap_or(0);
+            out.digests.push(("cfs".into(), cfs));
+            out.digests.push(("ule".into(), ule));
+        }
+        Job::Fig("fig5") => {
+            let cmp = fig5::run(&cfg);
+            out.digests.push((
+                "cfs".into(),
+                fold(cmp.rows.iter().map(|r| r.cfs.obs.digest)),
+            ));
+            out.digests.push((
+                "ule".into(),
+                fold(cmp.rows.iter().map(|r| r.ule.obs.digest)),
+            ));
+        }
+        Job::Fig("fig6") => {
+            let fig = fig6::run_both(&cfg);
+            out.digests.push(("cfs".into(), fig.cfs.obs.digest));
+            out.digests.push(("ule".into(), fig.ule.obs.digest));
+        }
+        Job::Fig("fig7") => {
+            let fig = fig7::run_both(&cfg);
+            out.digests.push(("cfs".into(), fig.cfs.obs.digest));
+            out.digests.push(("ule".into(), fig.ule.obs.digest));
+        }
+        Job::Fig(other) => {
+            out.error = Some(format!("unknown figure `{other}` in manifest"));
+        }
+        Job::Scenario(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|src| scenario::Scenario::from_toml(&src).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(sc) => {
+                let opts = EngineOpts {
+                    scale: entry.scale,
+                    seed: SEED,
+                    ..EngineOpts::default()
+                };
+                for &sched in &[Sched::Cfs, Sched::Ule] {
+                    match scenario::run_sched(&sc, sched, &opts) {
+                        Ok(r) => out.digests.push((
+                            match sched {
+                                Sched::Cfs => "cfs".into(),
+                                Sched::Ule => "ule".into(),
+                            },
+                            r.run.digest,
+                        )),
+                        Err(e) => {
+                            out.error = Some(format!("{path}: {e}"));
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e) => out.error = Some(e),
+        },
+    }
+    out
+}
+
+/// Run the whole manifest (parallel across entries).
+pub fn compute_all() -> Vec<EntryDigests> {
+    runner::par_map(manifest(), |e| compute(&e))
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+        .join("golden")
+        .join(format!("{name}.digest"))
+}
+
+fn render_file(entry: &Entry, d: &EntryDigests) -> String {
+    let mut s = format!(
+        "# golden decision digests — regenerate with `battle golden --write`\n\
+         # name={} scale={} seed={}\n",
+        entry.name, entry.scale, SEED
+    );
+    for (sched, digest) in &d.digests {
+        s.push_str(&format!("{sched} {digest:016x}\n"));
+    }
+    s
+}
+
+fn parse_file(src: &str) -> Vec<(String, u64)> {
+    src.lines()
+        .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            let sched = parts.next()?.to_string();
+            let digest = u64::from_str_radix(parts.next()?, 16).ok()?;
+            Some((sched, digest))
+        })
+        .collect()
+}
+
+/// Write every manifest digest to `results/golden/`. Returns `false` on
+/// I/O failure or if any entry errored.
+pub fn write_all() -> bool {
+    let entries = manifest();
+    let digests = compute_all();
+    let mut ok = true;
+    if let Err(e) = std::fs::create_dir_all(std::path::Path::new("results").join("golden")) {
+        eprintln!("cannot create results/golden: {e}");
+        return false;
+    }
+    for (entry, d) in entries.iter().zip(&digests) {
+        if let Some(err) = &d.error {
+            eprintln!("[{}] ERROR: {err}", d.name);
+            ok = false;
+            continue;
+        }
+        let path = golden_path(entry.name);
+        match std::fs::write(&path, render_file(entry, d)) {
+            Ok(()) => println!(
+                "wrote {} ({})",
+                path.display(),
+                d.digests
+                    .iter()
+                    .map(|(s, v)| format!("{s}={v:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Re-run the manifest and diff against the committed golden files,
+/// printing a side-by-side report. Returns `false` on any divergence.
+pub fn check_all() -> bool {
+    let entries = manifest();
+    let digests = compute_all();
+    let mut t = metrics::Table::new(&["entry", "sched", "expected", "got", "status"]);
+    let mut ok = true;
+    for (entry, d) in entries.iter().zip(&digests) {
+        if let Some(err) = &d.error {
+            t.push(&[
+                d.name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("ERROR: {err}"),
+            ]);
+            ok = false;
+            continue;
+        }
+        let path = golden_path(entry.name);
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(src) => parse_file(&src),
+            Err(e) => {
+                t.push(&[
+                    d.name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("MISSING {} ({e})", path.display()),
+                ]);
+                ok = false;
+                continue;
+            }
+        };
+        for (sched, got) in &d.digests {
+            let exp = expected.iter().find(|(s, _)| s == sched).map(|&(_, v)| v);
+            let (exp_s, status) = match exp {
+                Some(v) if v == *got => (format!("{v:016x}"), "ok".to_string()),
+                Some(v) => {
+                    ok = false;
+                    (format!("{v:016x}"), "DIVERGED".to_string())
+                }
+                None => {
+                    ok = false;
+                    ("-".to_string(), "UNPINNED".to_string())
+                }
+            };
+            t.push(&[
+                d.name.clone(),
+                sched.clone(),
+                exp_s,
+                format!("{got:016x}"),
+                status,
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    if ok {
+        println!("golden digests: all {} entries match", entries.len());
+    } else {
+        println!(
+            "golden digests DIVERGED — if the change is intended, regenerate with \
+             `battle golden --write` and commit results/golden/"
+        );
+    }
+    ok
+}

@@ -39,19 +39,21 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fuzz;
+pub mod golden;
 pub mod runner;
+pub mod scenarios;
 pub mod scope;
 pub mod table1;
 pub mod table2;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use cfs::Cfs;
-use kernel::{AppId, AppSpec, CheckMode, Kernel, SimConfig};
+use kernel::{AppId, AppSpec, CheckMode, FaultPlan, Kernel};
 use simcore::{Dur, Time};
 use topology::Topology;
-use ule::Ule;
 use workloads::{Entry, Metric, P};
+
+pub use scenario::Sched;
 
 /// Global SchedSan switch (the `battle --check strict` flag). Like the
 /// worker-pool size in [`runner`], it is process-global so every driver's
@@ -70,28 +72,6 @@ pub fn check_mode() -> CheckMode {
         CheckMode::Strict
     } else {
         CheckMode::Off
-    }
-}
-
-/// Which scheduler drives a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum Sched {
-    /// Linux CFS.
-    Cfs,
-    /// FreeBSD ULE (the paper's Linux port).
-    Ule,
-}
-
-impl Sched {
-    /// Both schedulers, CFS first.
-    pub const BOTH: [Sched; 2] = [Sched::Cfs, Sched::Ule];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Sched::Cfs => "CFS",
-            Sched::Ule => "ULE",
-        }
     }
 }
 
@@ -123,23 +103,11 @@ impl RunCfg {
     }
 }
 
-/// Build a kernel for `topo` driven by `sched`.
+/// Build a kernel for `topo` driven by `sched`, honouring the global
+/// check mode. Delegates to [`scenario::make_kernel`] (the one kernel
+/// factory both the figure drivers and the scenario engine share).
 pub fn make_kernel(topo: &Topology, sched: Sched, seed: u64) -> Kernel {
-    let mut cfg = SimConfig::with_seed(seed);
-    cfg.check = check_mode();
-    if cfg.check == CheckMode::Strict {
-        // Keep a flight-recorder tail so a crash bundle has context.
-        cfg.trace_capacity = cfg.trace_capacity.max(256);
-    }
-    let class: Box<dyn sched_api::Scheduler> = match sched {
-        Sched::Cfs => Box::new(Cfs::new(topo)),
-        Sched::Ule => Box::new(Ule::with_params(
-            topo,
-            ule::params::UleParams::default(),
-            seed,
-        )),
-    };
-    Kernel::new(topo.clone(), cfg, class)
+    scenario::make_kernel(topo, sched, seed, check_mode(), FaultPlan::default())
 }
 
 /// Structured observability snapshot of one finished kernel run
@@ -155,6 +123,9 @@ pub struct SchedObs {
     /// Wakeup→dispatch latency (waits that started at a wakeup, the
     /// paper's scheduling-latency notion).
     pub wakeup_latency: metrics::LatencySummary,
+    /// Decision digest at the end of the run (what the golden-digest
+    /// regression gate pins).
+    pub digest: u64,
 }
 
 /// Capture a [`SchedObs`] from a kernel at the end of a run.
@@ -163,6 +134,7 @@ pub fn obs_of(k: &Kernel) -> SchedObs {
         counters: k.counters().clone(),
         run_delay: k.run_delay().summary(),
         wakeup_latency: k.wakeup_latency().summary(),
+        digest: k.decision_digest(),
     }
 }
 

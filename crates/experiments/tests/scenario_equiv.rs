@@ -1,0 +1,126 @@
+//! Scenario ↔ hardcoded-figure digest equivalence.
+//!
+//! The ported scenario files must reproduce their figure driver's
+//! decision digest byte-for-byte at the golden gate's pinned scales.
+//! This is the contract that lets `results/golden/sc-*.digest` stand in
+//! for the figures: if a scenario port drifts (workload build order, stop
+//! rule, horizon formula), it diverges here first, with the figure named.
+//!
+//! fig1 runs in every profile; fig6/fig7 cover tens of simulated seconds
+//! on 32 cores and only run in release (`cargo test --release`, which is
+//! what CI runs).
+
+use experiments::{fig1, fig6, fig7, RunCfg, Sched};
+use scenario::{EngineOpts, Scenario};
+
+fn scenario_digest(path: &str, sched: Sched, scale: f64) -> u64 {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let src =
+        std::fs::read_to_string(format!("{root}/{path}")).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let sc = Scenario::from_toml(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let opts = EngineOpts {
+        scale,
+        ..EngineOpts::default()
+    };
+    scenario::run_sched(&sc, sched, &opts)
+        .unwrap_or_else(|e| panic!("{path} [{}]: {e}", sched.name()))
+        .run
+        .digest
+}
+
+#[test]
+fn fig1_scenario_matches_hardcoded_digest() {
+    let cfg = RunCfg::at_scale(0.05);
+    for sched in Sched::BOTH {
+        let fig = fig1::run(sched, &cfg);
+        let hard = fig.obs.expect("fig1 records obs").digest;
+        let scen = scenario_digest("scenarios/fig1.toml", sched, cfg.scale);
+        assert_eq!(
+            scen,
+            hard,
+            "[{}] scenarios/fig1.toml diverged from battle fig1 at scale {}",
+            sched.name(),
+            cfg.scale
+        );
+    }
+}
+
+#[test]
+fn fig6_scenario_matches_hardcoded_digest() {
+    if cfg!(debug_assertions) {
+        return; // ~60 simulated seconds on 32 cores: release-only.
+    }
+    let cfg = RunCfg::at_scale(0.02);
+    for sched in Sched::BOTH {
+        let hard = fig6::run(sched, &cfg).obs.digest;
+        let scen = scenario_digest("scenarios/fig6.toml", sched, cfg.scale);
+        assert_eq!(
+            scen,
+            hard,
+            "[{}] scenarios/fig6.toml diverged from battle fig6 at scale {}",
+            sched.name(),
+            cfg.scale
+        );
+    }
+}
+
+#[test]
+fn fig7_scenario_matches_hardcoded_digest() {
+    if cfg!(debug_assertions) {
+        return; // 512 threads over ~30 simulated seconds: release-only.
+    }
+    let cfg = RunCfg::at_scale(0.05);
+    for sched in Sched::BOTH {
+        let hard = fig7::run(sched, &cfg).obs.digest;
+        let scen = scenario_digest("scenarios/fig7.toml", sched, cfg.scale);
+        assert_eq!(
+            scen,
+            hard,
+            "[{}] scenarios/fig7.toml diverged from battle fig7 at scale {}",
+            sched.name(),
+            cfg.scale
+        );
+    }
+}
+
+#[test]
+fn scenario_library_parses_and_passes_asserts() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let dir = format!("{root}/scenarios");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 8,
+        "scenario library should ship the 3 ported figures plus ≥5 new files, found {}",
+        paths.len()
+    );
+    // The figure ports are covered by the digest-equivalence tests above
+    // (they take tens of simulated seconds); here every *new* scenario
+    // must run clean and hold its own assertions at the golden scale.
+    let figs = ["fig1.toml", "fig6.toml", "fig7.toml"];
+    for path in &paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(path).unwrap();
+        let sc = Scenario::from_toml(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if figs.contains(&name.as_str()) {
+            continue;
+        }
+        let opts = EngineOpts {
+            scale: 0.05,
+            check: kernel::CheckMode::Strict,
+            ..EngineOpts::default()
+        };
+        let mut runs = Vec::new();
+        for &sched in &sc.scheds {
+            let out = scenario::run_sched(&sc, sched, &opts)
+                .unwrap_or_else(|e| panic!("{name} [{}]: {e}", sched.name()));
+            runs.push(out.run);
+        }
+        let failures = scenario::failures(&sc, &runs);
+        assert!(failures.is_empty(), "{name}: {failures:?}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Execute a parsed [`Scenario`] on one scheduler.
+//!
+//! The engine reproduces the hardcoded figure drivers' structure exactly:
+//! build the kernel, queue every phase in file order (build order assigns
+//! task and sync-object ids, which feed the decision digest), then drive
+//! `try_run_until` in sampling steps, recording the per-core load matrix
+//! and honouring the declarative stop rules. An invariant violation
+//! (SchedSan strict mode) comes back as an [`EngineCrash`] carrying the
+//! kernel's crash report instead of aborting the process.
+
+use kernel::{CheckMode, Kernel, SimError};
+use metrics::{LatencySummary, PerCoreSeries};
+use serde::Serialize;
+use simcore::Time;
+use topology::CpuId;
+
+use crate::spec::{RelationBound, Scenario, SchedSel};
+use crate::{make_kernel, Sched};
+
+/// Engine knobs shared by every run of a scenario batch.
+#[derive(Debug, Clone)]
+pub struct EngineOpts {
+    /// Work-volume scale (1.0 = paper-sized).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// SchedSan mode for the run.
+    pub check: CheckMode,
+    /// Flight-recorder ring capacity; 0 keeps the kernel default.
+    pub trace_capacity: usize,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            scale: 1.0,
+            seed: 42,
+            check: CheckMode::Off,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// A run died on a simulator error (invariant violation in strict mode).
+#[derive(Debug, Clone)]
+pub struct EngineCrash {
+    /// Scheduler that was driving.
+    pub sched: Sched,
+    /// The simulator error.
+    pub error: String,
+    /// Full SchedSan crash report (state dump + trace tail).
+    pub report: String,
+}
+
+/// Why a scenario run did not produce a result.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// The spec referenced something that only resolves at build time
+    /// (e.g. an unknown suite entry).
+    Spec(crate::spec::SpecError),
+    /// The simulation crashed.
+    Crash(EngineCrash),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Spec(e) => write!(f, "{e}"),
+            EngineError::Crash(c) => {
+                write!(f, "[{}] simulation crashed: {}", c.sched.name(), c.error)
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-app outcome in a [`ScenarioRun`].
+#[derive(Debug, Clone, Serialize)]
+pub struct AppResult {
+    /// App name (the phase name for scenario-defined workloads).
+    pub name: String,
+    /// Phase that queued the app.
+    pub phase: String,
+    /// Did the app finish?
+    pub done: bool,
+    /// Start→finish wall time, seconds (`None` while unfinished).
+    pub elapsed_s: Option<f64>,
+    /// Application-level operations completed.
+    pub ops: u64,
+    /// Operations per second over the app's lifetime.
+    pub ops_per_sec: f64,
+    /// Mean application-recorded latency, milliseconds.
+    pub avg_latency_ms: Option<f64>,
+}
+
+/// Everything observable about one finished scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheduler that drove the run.
+    pub sched: Sched,
+    /// Scale the expressions were evaluated at.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Decision digest (the regression fingerprint).
+    pub digest: u64,
+    /// The digest as 16 hex digits (what golden files pin).
+    pub digest_hex: String,
+    /// Simulated end time, seconds.
+    pub end_s: f64,
+    /// Did every non-daemon app finish?
+    pub all_apps_done: bool,
+    /// Kernel activity counters.
+    pub counters: kernel::Counters,
+    /// Runnable→running dispatch delay.
+    pub run_delay: LatencySummary,
+    /// Wakeup→dispatch latency.
+    pub wakeup_latency: LatencySummary,
+    /// Per-app outcomes, in phase order.
+    pub apps: Vec<AppResult>,
+    /// Final max−min runnable spread across cores.
+    pub final_spread: u32,
+    /// When the spread first dropped within 1, seconds.
+    pub convergence_s: Option<f64>,
+}
+
+/// A finished run plus the kernel it ran on (for trace export and crash
+/// inspection; drop it if you only need the report).
+pub struct RunOutput {
+    /// The serializable report.
+    pub run: ScenarioRun,
+    /// The kernel, in its end-of-run state.
+    pub kernel: Kernel,
+}
+
+/// Run `sc` under `sched`.
+pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOutput, EngineError> {
+    let topo = sc.topology.build();
+    let ncpu = topo.nr_cpus();
+    let mut k = make_kernel(&topo, sched, opts.seed, opts.check, sc.faults.to_plan());
+    if opts.trace_capacity > 0 {
+        k.set_trace_capacity(opts.trace_capacity);
+    }
+
+    // Queue phases in file order; build immediately before queueing so
+    // sync-object ids interleave exactly as the figure drivers do.
+    let mut apps = Vec::with_capacity(sc.phases.len());
+    for phase in &sc.phases {
+        let at = Time::ZERO + phase.at.eval(opts.scale);
+        let spec = crate::workload::build(&mut k, &phase.workload, &phase.name, opts.scale, ncpu)
+            .map_err(EngineError::Spec)?;
+        apps.push((phase.name.clone(), k.queue_app(at, spec)));
+    }
+    for ev in &sc.events {
+        let app = apps
+            .iter()
+            .find(|(name, _)| *name == ev.phase)
+            .map(|&(_, id)| id)
+            .expect("event phases validated at parse time");
+        k.queue_unpin(Time::ZERO + ev.at.eval(opts.scale), app);
+    }
+
+    let horizon = match sched {
+        Sched::Cfs => sc.run.horizon_cfs.as_ref(),
+        Sched::Ule => sc.run.horizon_ule.as_ref(),
+    }
+    .unwrap_or(&sc.run.horizon);
+    let limit = Time::ZERO + horizon.eval(opts.scale);
+    let mut step = sc.run.step.eval(opts.scale);
+    if step.is_zero() {
+        step = simcore::Dur::millis(100);
+    }
+    let stop_after = sc
+        .run
+        .stop_spread_after
+        .as_ref()
+        .map(|t| Time::ZERO + t.eval(opts.scale))
+        .unwrap_or(Time::ZERO);
+
+    let mut matrix = PerCoreSeries::new();
+    let crash = |k: &Kernel, e: SimError| {
+        EngineError::Crash(EngineCrash {
+            sched,
+            error: e.to_string(),
+            report: k.crash_report(&e),
+        })
+    };
+    while k.now() < limit && !(sc.run.until_apps_done && k.all_apps_done()) {
+        let next = k.now() + step;
+        if let Err(e) = k.try_run_until(next) {
+            return Err(crash(&k, e));
+        }
+        matrix.push(
+            k.now(),
+            (0..ncpu)
+                .map(|c| k.nr_queued(CpuId(c as u32)) as u32)
+                .collect(),
+        );
+        if let Some(th) = sc.run.stop_spread_le {
+            if matrix.final_spread() <= th && k.now() > stop_after {
+                break;
+            }
+        }
+    }
+
+    let digest = k.decision_digest();
+    let app_results = apps
+        .iter()
+        .map(|&(ref phase, id)| {
+            let a = k.app(id);
+            AppResult {
+                name: a.name.clone(),
+                phase: phase.clone(),
+                done: a.finished.is_some(),
+                elapsed_s: a.finished.and(a.elapsed()).map(|d| d.as_secs_f64()),
+                ops: a.ops,
+                ops_per_sec: a.ops_per_sec(k.now()),
+                avg_latency_ms: a.avg_latency().map(|d| d.as_secs_f64() * 1e3),
+            }
+        })
+        .collect();
+    let run = ScenarioRun {
+        scenario: sc.name.clone(),
+        sched,
+        scale: opts.scale,
+        seed: opts.seed,
+        digest,
+        digest_hex: format!("{digest:016x}"),
+        end_s: k.now().as_secs_f64(),
+        all_apps_done: k.all_apps_done(),
+        counters: k.counters().clone(),
+        run_delay: k.run_delay().summary(),
+        wakeup_latency: k.wakeup_latency().summary(),
+        apps: app_results,
+        final_spread: matrix.final_spread(),
+        convergence_s: matrix.convergence_time(1),
+    };
+    Ok(RunOutput { run, kernel: k })
+}
+
+fn counter_value(c: &kernel::Counters, name: &str) -> u64 {
+    match name {
+        "ctx_switches" => c.ctx_switches,
+        "preemptions" => c.preemptions,
+        "wakeup_preemptions" => c.wakeup_preemptions,
+        "tick_preemptions" => c.tick_preemptions,
+        "wakeups" => c.wakeups,
+        "migrations" => c.migrations,
+        "placement_scans" => c.placement_scans,
+        "spawns" => c.spawns,
+        "events" => c.events,
+        "spurious_wakes" => c.spurious_wakes,
+        "hotplug_events" => c.hotplug_events,
+        _ => unreachable!("counter names validated at parse time"),
+    }
+}
+
+fn metric_value(run: &ScenarioRun, name: &str) -> f64 {
+    match name {
+        "run_delay_mean_ms" => run.run_delay.mean_ms,
+        "run_delay_p50_ms" => run.run_delay.p50_ms,
+        "run_delay_p99_ms" => run.run_delay.p99_ms,
+        "run_delay_max_ms" => run.run_delay.max_ms,
+        "wakeup_mean_ms" => run.wakeup_latency.mean_ms,
+        "wakeup_p50_ms" => run.wakeup_latency.p50_ms,
+        "wakeup_p99_ms" => run.wakeup_latency.p99_ms,
+        "wakeup_max_ms" => run.wakeup_latency.max_ms,
+        "max_runnable_wait_ms" => run.counters.max_runnable_wait.as_secs_f64() * 1e3,
+        _ => unreachable!("metric names validated at parse time"),
+    }
+}
+
+fn relation_holds(rel: &RelationBound, left: f64, right: f64) -> bool {
+    let rhs = rel.factor * right;
+    match rel.cmp.as_str() {
+        "le" => left <= rhs,
+        "lt" => left < rhs,
+        "ge" => left >= rhs,
+        "gt" => left > rhs,
+        _ => unreachable!("comparisons validated at parse time"),
+    }
+}
+
+/// Evaluate every assertion of `sc` against its finished runs. Returns
+/// one human-readable line per violated assertion; empty means pass.
+/// Relations are skipped when one side's scheduler was not run.
+pub fn failures(sc: &Scenario, runs: &[ScenarioRun]) -> Vec<String> {
+    let mut out = Vec::new();
+    let by_sched = |s: Sched| runs.iter().find(|r| r.sched == s);
+    let covered = |sel: SchedSel| runs.iter().filter(move |r| sel.covers(r.sched));
+
+    if let Some(expected) = sc.asserts.all_apps_done {
+        for r in runs {
+            if r.all_apps_done != expected {
+                out.push(format!(
+                    "[{}] all_apps_done = {} at t={:.3}s, expected {}",
+                    r.sched.name(),
+                    r.all_apps_done,
+                    r.end_s,
+                    expected
+                ));
+            }
+        }
+    }
+    for b in &sc.asserts.counter {
+        for r in covered(b.sched) {
+            let v = counter_value(&r.counters, &b.counter);
+            if let Some(min) = b.min {
+                if v < min {
+                    out.push(format!(
+                        "[{}] counter {} = {} < min {}",
+                        r.sched.name(),
+                        b.counter,
+                        v,
+                        min
+                    ));
+                }
+            }
+            if let Some(max) = b.max {
+                if v > max {
+                    out.push(format!(
+                        "[{}] counter {} = {} > max {}",
+                        r.sched.name(),
+                        b.counter,
+                        v,
+                        max
+                    ));
+                }
+            }
+        }
+    }
+    for b in &sc.asserts.latency {
+        for r in covered(b.sched) {
+            let v = metric_value(r, &b.metric);
+            if let Some(min) = b.min_ms {
+                if v < min {
+                    out.push(format!(
+                        "[{}] {} = {:.3}ms < min {:.3}ms",
+                        r.sched.name(),
+                        b.metric,
+                        v,
+                        min
+                    ));
+                }
+            }
+            if let Some(max) = b.max_ms {
+                if v > max {
+                    out.push(format!(
+                        "[{}] {} = {:.3}ms > max {:.3}ms",
+                        r.sched.name(),
+                        b.metric,
+                        v,
+                        max
+                    ));
+                }
+            }
+        }
+    }
+    for rel in &sc.asserts.relation {
+        let (Some(l), Some(r)) = (by_sched(rel.left), by_sched(rel.right)) else {
+            continue;
+        };
+        let lv = metric_value(l, &rel.metric);
+        let rv = metric_value(r, &rel.metric);
+        if !relation_holds(rel, lv, rv) {
+            out.push(format!(
+                "relation {}: {}({}) = {:.3} not {} {:.3} = {} × {}({})",
+                rel.metric,
+                rel.left.name(),
+                rel.metric,
+                lv,
+                rel.cmp,
+                rel.factor * rv,
+                rel.factor,
+                rel.right.name(),
+                rel.metric
+            ));
+        }
+    }
+    for pin in &sc.asserts.digest {
+        if let Some(r) = by_sched(pin.sched) {
+            if r.digest != pin.value {
+                out.push(format!(
+                    "[{}] digest {:016x} != pinned {:016x}",
+                    r.sched.name(),
+                    r.digest,
+                    pin.value
+                ));
+            }
+        }
+    }
+    out
+}

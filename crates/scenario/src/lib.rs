@@ -1,0 +1,89 @@
+//! Declarative scheduling scenarios.
+//!
+//! The paper's figures hard-code each workload in Rust; this crate turns a
+//! workload × topology × fault-plan × assertion combination into *data*: a
+//! TOML (or JSON) file parsed into a [`spec::Scenario`] and executed by
+//! [`engine::run_sched`] on either scheduler. The `battle run` subcommand
+//! is the CLI front-end; `scenarios/` in the repo root is the library of
+//! ported figures and new stress scenarios the golden-digest CI gate pins.
+//!
+//! Layering:
+//!
+//! | Module       | Role |
+//! |--------------|------|
+//! | [`toml`]     | minimal TOML → [`serde::Value`] parser (the vendored serde has no deserializer) |
+//! | [`expr`]     | scale-aware time/count expressions (`{ base_s = 420, plus_s = 30 }`) |
+//! | [`spec`]     | the typed scenario schema, with unknown-key rejection and field-path errors |
+//! | [`workload`] | phase specs → kernel [`AppSpec`]s (digest-compatible with the hardcoded figures) |
+//! | [`engine`]   | build kernel, queue phases, drive the loop, evaluate assertions |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod expr;
+pub mod spec;
+pub mod toml;
+pub mod workload;
+
+use cfs::Cfs;
+use kernel::{CheckMode, FaultPlan, Kernel, SimConfig};
+use topology::Topology;
+use ule::Ule;
+
+pub use engine::{
+    failures, run_sched, EngineCrash, EngineError, EngineOpts, RunOutput, ScenarioRun,
+};
+pub use spec::{Scenario, SpecError};
+
+/// Which scheduler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Sched {
+    /// Linux CFS.
+    Cfs,
+    /// FreeBSD ULE (the paper's Linux port).
+    Ule,
+}
+
+impl Sched {
+    /// Both schedulers, CFS first.
+    pub const BOTH: [Sched; 2] = [Sched::Cfs, Sched::Ule];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sched::Cfs => "CFS",
+            Sched::Ule => "ULE",
+        }
+    }
+}
+
+/// Build a kernel for `topo` driven by `sched`, with an explicit check
+/// mode and fault plan.
+///
+/// The fault plan must be in the [`SimConfig`] before construction: the
+/// kernel forks its fault RNG from the seed at `Kernel::new` time.
+pub fn make_kernel(
+    topo: &Topology,
+    sched: Sched,
+    seed: u64,
+    check: CheckMode,
+    faults: FaultPlan,
+) -> Kernel {
+    let mut cfg = SimConfig::with_seed(seed);
+    cfg.check = check;
+    cfg.faults = faults;
+    if cfg.check == CheckMode::Strict {
+        // Keep a flight-recorder tail so a crash bundle has context.
+        cfg.trace_capacity = cfg.trace_capacity.max(256);
+    }
+    let class: Box<dyn sched_api::Scheduler> = match sched {
+        Sched::Cfs => Box::new(Cfs::new(topo)),
+        Sched::Ule => Box::new(Ule::with_params(
+            topo,
+            ule::params::UleParams::default(),
+            seed,
+        )),
+    };
+    Kernel::new(topo.clone(), cfg, class)
+}
