@@ -95,43 +95,55 @@ impl Cfs {
 
     /// One balancing pass of domain `di` with `dst` as the pulling CPU.
     /// Returns the number of tasks migrated.
+    ///
+    /// The domain's group list is detached for the duration of the pass so
+    /// the body can walk it while mutating per-CPU state; nothing below
+    /// reads `dom.groups`, and it goes straight back, so the detour is
+    /// invisible outside this function. (The alternative — cloning the
+    /// nested group vectors on every pass — dominated the tick path.)
     fn load_balance(&mut self, tasks: &mut TaskTable, dst: CpuId, di: usize, now: Time) -> usize {
-        let (groups, pct, nr_failed) = {
-            let ds = &self.domains[dst.index()][di];
-            (ds.dom.groups.clone(), ds.imbalance_pct, ds.nr_failed)
-        };
-        // Bring every involved CPU's load average up to date.
-        for g in &groups {
-            for &c in g {
-                self.refresh_load(c, now);
-            }
-        }
-        // Per-group statistics.
-        let gload: Vec<u64> = groups
-            .iter()
-            .map(|g| g.iter().map(|c| self.cpu_load(*c)).sum())
-            .collect();
-        let gnr: Vec<usize> = groups
-            .iter()
-            .map(|g| g.iter().map(|c| self.cpus[c.index()].h_nr).sum())
-            .collect();
-        let local_idx = groups
-            .iter()
-            .position(|g| g.contains(&dst))
-            .expect("dst in domain");
-        let local_avg = gload[local_idx] * 1024 / groups[local_idx].len() as u64;
+        let groups = std::mem::take(&mut self.domains[dst.index()][di].dom.groups);
+        let moved = self.load_balance_groups(tasks, dst, di, now, &groups);
+        self.domains[dst.index()][di].dom.groups = groups;
+        moved
+    }
 
-        // Find the busiest other group by average load.
+    fn load_balance_groups(
+        &mut self,
+        tasks: &mut TaskTable,
+        dst: CpuId,
+        di: usize,
+        now: Time,
+        groups: &[Vec<CpuId>],
+    ) -> usize {
+        let (pct, nr_failed) = {
+            let ds = &self.domains[dst.index()][di];
+            (ds.imbalance_pct, ds.nr_failed)
+        };
+        // Bring every involved CPU's load average up to date and gather the
+        // per-group statistics in the same sweep (each CPU's refresh only
+        // affects its own load, so fusing the passes is exact). This runs
+        // on the tick path, so it must not allocate.
+        let mut local_avg = 0u64;
         let mut busiest: Option<(usize, u64)> = None;
         for (i, g) in groups.iter().enumerate() {
-            if i == local_idx || gnr[i] == 0 {
-                continue;
+            let mut load = 0u64;
+            let mut nr = 0usize;
+            for &c in g {
+                self.refresh_load(c, now);
+                load += self.cpu_load(c);
+                nr += self.cpus[c.index()].h_nr;
             }
-            let avg = gload[i] * 1024 / g.len() as u64;
-            match busiest {
-                None => busiest = Some((i, avg)),
-                Some((_, b)) if avg > b => busiest = Some((i, avg)),
-                _ => {}
+            let avg = load * 1024 / g.len() as u64;
+            // Groups partition the domain span, so `dst` names the local
+            // group exactly once; the rest compete for busiest.
+            if g.contains(&dst) {
+                local_avg = avg;
+            } else if nr > 0 {
+                match busiest {
+                    Some((_, b)) if avg <= b => {}
+                    _ => busiest = Some((i, avg)),
+                }
             }
         }
         let Some((bi, busiest_avg)) = busiest else {

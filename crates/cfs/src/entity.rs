@@ -57,6 +57,11 @@ impl Entity {
     /// vruntime delta for `delta` of real execution at this weight:
     /// `delta × NICE_0_LOAD / weight`.
     pub fn calc_delta_fair(&self, delta: Dur) -> u64 {
+        // Nice-0 fast path: ×1024/1024 is exact, so skip the u128 divide
+        // that otherwise sits on every `update_curr`.
+        if self.weight == 1024 {
+            return delta.as_nanos();
+        }
         (delta.as_nanos() as u128 * 1024 / self.weight.max(1) as u128) as u64
     }
 }

@@ -286,14 +286,24 @@ impl Cfs {
         let c = &self.cpus[cpu.index()];
         let period = self.p.period(c.h_nr.max(1));
         let te = self.tent(tid);
+        // `x * num / den`, dropping to 64-bit division when the product
+        // fits (it almost always does: period × weight ≲ 2^50); the u128
+        // divide is a libcall and this runs on every tick.
+        fn mul_div(x: u128, num: u64, den: u64) -> u128 {
+            let prod = x * num as u128;
+            if prod >> 64 == 0 {
+                (prod as u64 / den) as u128
+            } else {
+                prod / den as u128
+            }
+        }
         let mut slice = period.as_nanos() as u128;
         if te.group == GroupId::ROOT {
-            let total = c.root.weight_sum.max(1);
-            slice = slice * te.ent.weight as u128 / total as u128;
+            slice = mul_div(slice, te.ent.weight, c.root.weight_sum.max(1));
         } else {
             let gc = &self.groups[te.group.index()].per_cpu[cpu.index()];
-            slice = slice * te.ent.weight as u128 / gc.rq.weight_sum.max(1) as u128;
-            slice = slice * gc.ge.weight as u128 / c.root.weight_sum.max(1) as u128;
+            slice = mul_div(slice, te.ent.weight, gc.rq.weight_sum.max(1));
+            slice = mul_div(slice, gc.ge.weight, c.root.weight_sum.max(1));
         }
         Dur(slice as u64).max(Dur::millis(1))
     }

@@ -25,7 +25,7 @@
 //! Figure 6 rebalancing story.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::rc::Rc;
 
@@ -67,12 +67,20 @@ pub struct ChromeTrace<W: Write> {
     err: Option<String>,
     pid: u32,
     open: Vec<Option<OpenSlice>>,
-    running: HashMap<Tid, CpuId>,
-    pending_flow: HashMap<Tid, u64>,
+    /// Dense tid-indexed table: which CPU a task currently occupies a
+    /// slice on ([`NO_CPU`] when none). Indexed on every switch event, so
+    /// a flat vector beats hashing.
+    running: Vec<u32>,
+    /// Dense tid-indexed table: pending wakeup flow-arrow id per task
+    /// (0 when none; real ids start at 1).
+    pending_flow: Vec<u64>,
     next_flow: u64,
     events: u64,
     slices: u64,
 }
+
+/// Vacant sentinel for [`ChromeTrace::running`].
+const NO_CPU: u32 = u32::MAX;
 
 /// Nanoseconds as a microsecond JSON number with fixed 3-digit fraction
 /// (Chrome-trace timestamps are microseconds; fixed formatting keeps the
@@ -109,8 +117,8 @@ impl<W: Write> ChromeTrace<W> {
             err,
             pid: 0,
             open: Vec::new(),
-            running: HashMap::new(),
-            pending_flow: HashMap::new(),
+            running: Vec::new(),
+            pending_flow: Vec::new(),
             next_flow: 1,
             events: 0,
             slices: 0,
@@ -125,6 +133,45 @@ impl<W: Write> ChromeTrace<W> {
     /// Task slices emitted so far.
     pub fn slices(&self) -> u64 {
         self.slices
+    }
+
+    /// The CPU `tid` currently has an open slice on, if any.
+    fn running_get(&self, tid: Tid) -> Option<CpuId> {
+        match self.running.get(tid.index()).copied() {
+            Some(NO_CPU) | None => None,
+            Some(c) => Some(CpuId(c)),
+        }
+    }
+
+    /// Record that `tid` occupies `cpu` (grows the table on first sight).
+    fn running_set(&mut self, tid: Tid, cpu: CpuId) {
+        if tid.index() >= self.running.len() {
+            self.running.resize(tid.index() + 1, NO_CPU);
+        }
+        self.running[tid.index()] = cpu.0;
+    }
+
+    /// Record that `tid` no longer occupies any CPU.
+    fn running_unset(&mut self, tid: Tid) {
+        if let Some(slot) = self.running.get_mut(tid.index()) {
+            *slot = NO_CPU;
+        }
+    }
+
+    /// Take `tid`'s pending wakeup flow id, if one is armed.
+    fn flow_take(&mut self, tid: Tid) -> Option<u64> {
+        match self.pending_flow.get_mut(tid.index()) {
+            Some(id) if *id != 0 => Some(std::mem::take(id)),
+            _ => None,
+        }
+    }
+
+    /// Arm a wakeup flow arrow for `tid`'s next dispatch.
+    fn flow_set(&mut self, tid: Tid, id: u64) {
+        if tid.index() >= self.pending_flow.len() {
+            self.pending_flow.resize(tid.index() + 1, 0);
+        }
+        self.pending_flow[tid.index()] = id;
     }
 
     /// Begin a new scheduler group: Chrome-trace process `pid` named
@@ -209,7 +256,7 @@ impl<W: Write> ChromeTrace<W> {
             s.name,
         ));
         self.slices += 1;
-        self.running.remove(&s.tid);
+        self.running_unset(s.tid);
     }
 
     fn instant(&mut self, cpu: CpuId, at: Time, name: &str, args: String) {
@@ -228,7 +275,7 @@ impl<W: Write> ChromeTrace<W> {
         match *ev {
             TraceEvent::Switch { at, cpu, to, .. } => {
                 self.close(cpu, at);
-                if let Some(id) = self.pending_flow.remove(&to) {
+                if let Some(id) = self.flow_take(to) {
                     let pid = self.pid;
                     self.raw(format!(
                         "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":{pid},\
@@ -244,7 +291,7 @@ impl<W: Write> ChromeTrace<W> {
                         tid: to,
                     });
                 }
-                self.running.insert(to, cpu);
+                self.running_set(to, cpu);
             }
             TraceEvent::Idle { at, cpu } => self.close(cpu, at),
             TraceEvent::Wakeup {
@@ -253,9 +300,7 @@ impl<W: Write> ChromeTrace<W> {
                 cpu,
                 waker,
             } => {
-                let src = waker
-                    .and_then(|w| self.running.get(&w).copied())
-                    .unwrap_or(cpu);
+                let src = waker.and_then(|w| self.running_get(w)).unwrap_or(cpu);
                 let id = self.next_flow;
                 self.next_flow += 1;
                 let by = waker
@@ -274,17 +319,17 @@ impl<W: Write> ChromeTrace<W> {
                     src.0,
                     us(at.as_nanos()),
                 ));
-                self.pending_flow.insert(tid, id);
+                self.flow_set(tid, id);
             }
             TraceEvent::Exit { at, tid } => {
-                let cpu = self.running.get(&tid).copied().unwrap_or(CpuId(0));
+                let cpu = self.running_get(tid).unwrap_or(CpuId(0));
                 self.instant(
                     cpu,
                     at,
                     &format!("exit {}", esc(&tasks.get(tid).name)),
                     format!("\"tid\":{}", tid.0),
                 );
-                self.pending_flow.remove(&tid);
+                self.flow_take(tid);
             }
             TraceEvent::Hotplug { at, cpu, online } => {
                 if !online {

@@ -1,0 +1,65 @@
+//! Differential determinism across event-queue backends: every figure
+//! scenario must produce a byte-identical decision digest (and event
+//! count) whether the event core runs on the binary heap or the timer
+//! wheel. This is the end-to-end counterpart of the op-level differential
+//! test in `crates/simcore/tests/backend_equiv.rs`.
+
+use std::sync::Mutex;
+
+use experiments::{scope, RunCfg, Sched};
+use simcore::{set_default_backend, Backend};
+
+/// `set_default_backend` is process-global; serialize the tests that flip
+/// it so parallel test threads never see each other's override.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// (decision digest, events handled) for one scenario run on `backend`.
+fn digest_on(fig: &str, sched: Sched, cfg: &RunCfg, backend: Backend) -> (u64, u64) {
+    set_default_backend(Some(backend));
+    let (k, _) = scope::run_scenario(fig, sched, cfg, None, 0).expect("scenario runs");
+    (k.decision_digest(), k.counters().events)
+}
+
+/// Run `fig` under both schedulers at two scales/seeds and insist the
+/// heap and wheel backends agree exactly.
+fn assert_backends_agree(fig: &str) {
+    let _g = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfgs = [
+        RunCfg {
+            scale: 0.02,
+            seed: 7,
+        },
+        RunCfg {
+            scale: 0.04,
+            seed: 11,
+        },
+    ];
+    for cfg in &cfgs {
+        for sched in Sched::BOTH {
+            let heap = digest_on(fig, sched, cfg, Backend::Heap);
+            let wheel = digest_on(fig, sched, cfg, Backend::Wheel);
+            assert_eq!(
+                heap, wheel,
+                "{fig}/{sched:?} scale={} seed={}: backends disagree",
+                cfg.scale, cfg.seed
+            );
+            assert!(heap.0 != 0 && heap.1 > 0, "degenerate run for {fig}");
+        }
+    }
+    set_default_backend(None);
+}
+
+#[test]
+fn fig1_digest_is_backend_independent() {
+    assert_backends_agree("fig1");
+}
+
+#[test]
+fn fig6_digest_is_backend_independent() {
+    assert_backends_agree("fig6");
+}
+
+#[test]
+fn fig7_digest_is_backend_independent() {
+    assert_backends_agree("fig7");
+}

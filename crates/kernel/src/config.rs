@@ -59,6 +59,10 @@ pub struct SimConfig {
     /// Fault injection plan (spurious wakeups, tick jitter, hotplug).
     /// Inert by default.
     pub faults: FaultPlan,
+    /// Event-queue backend override. `None` (default) resolves through
+    /// [`simcore::default_backend`] (the `BATTLE_EVENT_QUEUE` env var or
+    /// the timer wheel); set explicitly for differential testing.
+    pub event_queue: Option<simcore::Backend>,
 }
 
 impl Default for SimConfig {
@@ -75,6 +79,7 @@ impl Default for SimConfig {
             check: CheckMode::Off,
             starvation_limit: Dur::secs(10),
             faults: FaultPlan::default(),
+            event_queue: None,
         }
     }
 }

@@ -210,8 +210,7 @@ impl Kernel {
             });
         }
         if !self.cpus[cpu.index()].tick_armed {
-            self.cpus[cpu.index()].tick_armed = true;
-            self.events.push(self.now + self.cfg.tick, Event::Tick(cpu));
+            self.arm_tick(cpu, self.now + self.cfg.tick);
         }
         self.events.push(self.now, Event::Resched(cpu));
         Ok(())

@@ -40,6 +40,7 @@ use crate::error::SimError;
 use crate::fault::FaultOp;
 use crate::stats::{AppStats, Counters, CpuStats, DecisionHash};
 use crate::sync::{BlockedOn, OpOutcome, SyncTable};
+use crate::ticks::TickLane;
 use crate::trace::{TraceEvent, TraceSink};
 
 /// Identifier of an application (a spawned [`AppSpec`]).
@@ -84,8 +85,6 @@ pub(crate) enum ControlOp {
 }
 
 pub(crate) enum Event {
-    /// Per-CPU scheduler tick.
-    Tick(CpuId),
     /// The current run segment of `cpu` completed (if `gen` is current).
     RunDone { cpu: CpuId, gen: u64 },
     /// Timer expiry for a timed sleep.
@@ -104,6 +103,13 @@ pub(crate) enum Event {
     Control(ControlOp),
     /// Fault injection (spurious wakeup, hotplug).
     Fault(FaultOp),
+}
+
+/// What the merged event sources deliver next: a queue event, or a tick
+/// from the batched per-CPU tick lane (see [`crate::ticks::TickLane`]).
+enum Pending {
+    Queue,
+    Tick(CpuId),
 }
 
 /// Where a task stands in its behaviour program.
@@ -204,6 +210,8 @@ pub struct Kernel {
     pub(crate) cfg: SimConfig,
     pub(crate) now: Time,
     pub(crate) events: EventQueue<Event>,
+    /// Batched per-CPU tick deadlines, merged with `events` by (time, seq).
+    ticks: TickLane,
     pub(crate) sched: Box<dyn Scheduler>,
     pub(crate) tasks: TaskTable,
     pub(crate) trt: Vec<Option<TaskRt>>,
@@ -255,11 +263,16 @@ impl Kernel {
         let check_on = cfg.check == CheckMode::Strict;
         let faults_on = cfg.faults.active();
         let fault_rng = rng.fork(0xFA17);
+        let events = match cfg.event_queue {
+            Some(b) => EventQueue::with_backend(b),
+            None => EventQueue::new(),
+        };
         Kernel {
             topo,
             cfg,
             now: Time::ZERO,
-            events: EventQueue::new(),
+            events,
+            ticks: TickLane::new(ncpu),
             sched,
             tasks: TaskTable::new(),
             trt: Vec::new(),
@@ -494,20 +507,11 @@ impl Kernel {
     /// or (in strict mode) an invariant check detects an inconsistency.
     pub fn try_run_until(&mut self, until: Time) -> Result<(), SimError> {
         self.ensure_ticking();
-        while let Some(at) = self.events.peek_time() {
+        while let Some((at, next)) = self.peek_next() {
             if at > until {
                 break;
             }
-            let Some((at, ev)) = self.events.pop() else {
-                return Err(SimError::EventQueueCorrupt { at: self.now });
-            };
-            debug_assert!(at >= self.now);
-            self.now = at;
-            self.counters.events += 1;
-            self.handle(ev)?;
-            if self.check_on {
-                self.run_checks()?;
-            }
+            self.step(at, next)?;
         }
         if until > self.now {
             self.now = until;
@@ -533,24 +537,66 @@ impl Kernel {
     pub fn try_run_until_apps_done(&mut self, limit: Time) -> Result<bool, SimError> {
         self.ensure_ticking();
         while self.live_apps > 0 {
-            let Some(at) = self.events.peek_time() else {
+            let Some((at, next)) = self.peek_next() else {
                 break;
             };
             if at > limit {
                 self.now = limit;
                 return Ok(false);
             }
-            let Some((at, ev)) = self.events.pop() else {
-                return Err(SimError::EventQueueCorrupt { at: self.now });
-            };
-            self.now = at;
-            self.counters.events += 1;
-            self.handle(ev)?;
-            if self.check_on {
-                self.run_checks()?;
-            }
+            self.step(at, next)?;
         }
         Ok(self.live_apps == 0)
+    }
+
+    /// The next thing to process across the merged event sources (queue
+    /// events and batched ticks), ordered by the shared `(time, seq)` key.
+    fn peek_next(&mut self) -> Option<(Time, Pending)> {
+        let q = self.events.peek_key();
+        let t = self.ticks.peek();
+        match (q, t) {
+            (None, None) => None,
+            (Some((qt, _)), None) => Some((qt, Pending::Queue)),
+            (None, Some((tt, _, cpu))) => Some((tt, Pending::Tick(cpu))),
+            (Some((qt, qs)), Some((tt, ts, cpu))) => {
+                if (tt, ts) < (qt, qs) {
+                    Some((tt, Pending::Tick(cpu)))
+                } else {
+                    Some((qt, Pending::Queue))
+                }
+            }
+        }
+    }
+
+    /// Advance the clock to `at` and process one pending item.
+    fn step(&mut self, at: Time, next: Pending) -> Result<(), SimError> {
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.counters.events += 1;
+        match next {
+            Pending::Tick(cpu) => {
+                self.ticks.disarm(cpu.index());
+                self.on_tick(cpu);
+            }
+            Pending::Queue => {
+                let Some((_, ev)) = self.events.pop() else {
+                    return Err(SimError::EventQueueCorrupt { at: self.now });
+                };
+                self.handle(ev)?;
+            }
+        }
+        if self.check_on {
+            self.run_checks()?;
+        }
+        Ok(())
+    }
+
+    /// Arm `cpu`'s next scheduler tick at `at`, reserving its place in the
+    /// event order from the queue's sequence counter.
+    pub(crate) fn arm_tick(&mut self, cpu: CpuId, at: Time) {
+        let seq = self.events.alloc_seq();
+        self.ticks.arm(cpu.index(), at, seq);
+        self.cpus[cpu.index()].tick_armed = true;
     }
 
     fn ensure_ticking(&mut self) {
@@ -563,11 +609,7 @@ impl Kernel {
             // Stagger ticks across CPUs as real machines do, avoiding
             // artificial lock-step between cores.
             let offset = Dur(self.cfg.tick.as_nanos() * i / n);
-            self.cpus[i as usize].tick_armed = true;
-            self.events.push(
-                self.now + self.cfg.tick + offset,
-                Event::Tick(CpuId(i as u32)),
-            );
+            self.arm_tick(CpuId(i as u32), self.now + self.cfg.tick + offset);
         }
         if self.faults_on {
             if let Some(p) = self.cfg.faults.spurious_wake_period {
@@ -587,10 +629,6 @@ impl Kernel {
 
     fn handle(&mut self, ev: Event) -> Result<(), SimError> {
         match ev {
-            Event::Tick(cpu) => {
-                self.on_tick(cpu);
-                Ok(())
-            }
             Event::RunDone { cpu, gen } => self.on_run_done(cpu, gen),
             Event::TimerWake { tid } => self.on_timer_wake(tid),
             Event::SpinTimeout {
@@ -640,7 +678,7 @@ impl Kernel {
                 next += Dur(self.fault_rng.gen_below(f.tick_jitter.as_nanos() + 1));
             }
         }
-        self.events.push(next, Event::Tick(cpu));
+        self.arm_tick(cpu, next);
     }
 
     fn on_run_done(&mut self, cpu: CpuId, gen: u64) -> Result<(), SimError> {

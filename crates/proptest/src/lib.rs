@@ -4,8 +4,8 @@
 //! workspace vendors the slice of proptest's surface its tests actually
 //! use: the `proptest!` macro with `pattern in strategy` and `name: type`
 //! arguments, integer range strategies, tuple strategies, `any::<T>()`,
-//! `prop::collection::vec`, `ProptestConfig::with_cases`, and
-//! `prop_assert!` / `prop_assert_eq!`.
+//! `prop::collection::vec`, `Just`, `prop_map`, weighted `prop_oneof!`,
+//! `ProptestConfig::with_cases`, and `prop_assert!` / `prop_assert_eq!`.
 //!
 //! Every (test, case) pair derives its RNG seed from an FNV hash of the
 //! test's module path and the case index, so runs are fully deterministic
@@ -90,6 +90,89 @@ pub mod strategy {
         type Value;
         /// Draw one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map drawn values through `f` (proptest's `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy yielding clones of one fixed value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    /// Box one `prop_oneof!` arm. A named function (rather than an inline
+    /// `as Box<dyn Strategy<Value = _>>` cast in the macro) so the
+    /// associated type is pinned through `S::Value` — a cast with an
+    /// inference hole does not unify across arms.
+    pub fn arm<S>(weight: u32, s: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(s))
+    }
+
+    impl<T> Union<T> {
+        /// A union drawing each arm with probability proportional to its
+        /// weight. Panics on an empty or zero-weight arm list.
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            assert!(
+                arms.iter().map(|&(w, _)| u64::from(w)).sum::<u64>() > 0,
+                "prop_oneof! needs at least one arm with non-zero weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|&(w, _)| u64::from(w)).sum();
+            let mut pick = rng.gen_below(total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.sample(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("pick exceeded total weight")
+        }
     }
 
     macro_rules! int_strategies {
@@ -250,14 +333,28 @@ pub mod prelude {
     //! The usual `use proptest::prelude::*;` import surface.
 
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 
     /// Namespace module mirroring `proptest::prelude::prop`.
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Weighted (`3 => strat`) or uniform (`strat`) choice between strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $($crate::strategy::arm($weight, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Define property tests. Supports an optional leading
@@ -390,6 +487,20 @@ mod tests {
             prop_assert!((3..10).contains(&x));
             prop_assert!((-5..=5).contains(&n));
             prop_assert_eq!(u8::from(flag) <= 1, true);
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(picks in prop::collection::vec(prop_oneof![
+            3 => (10u32..20).prop_map(|x| x * 2),
+            1 => Just(1u32),
+        ], 64..65)) {
+            for &p in &picks {
+                prop_assert!(p == 1 || (20..40).contains(&p), "p was {}", p);
+            }
+            // 64 draws at 3:1 odds hit both arms with overwhelming
+            // probability — and the RNG is deterministic, so no flake risk.
+            prop_assert!(picks.contains(&1), "light arm never drawn");
+            prop_assert!(picks.iter().any(|&p| p != 1), "heavy arm never drawn");
         }
 
         #[test]

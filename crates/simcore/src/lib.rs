@@ -2,9 +2,11 @@
 //!
 //! This crate provides the building blocks shared by every other crate in the
 //! workspace: a simulated nanosecond clock ([`Time`], [`Dur`]), an event queue
-//! with O(log n) scheduling and O(1) cancellation ([`EventQueue`]), a fully
-//! deterministic pseudo-random number generator ([`SimRng`]), and small
-//! tracing/hashing helpers used by the determinism tests.
+//! with amortized-O(1) scheduling on a hierarchical timer wheel and O(1)
+//! cancellation ([`EventQueue`], with a binary-heap fallback [`Backend`] for
+//! differential testing), a fully deterministic pseudo-random number
+//! generator ([`SimRng`]), and small tracing/hashing helpers used by the
+//! determinism tests.
 //!
 //! Nothing in this crate knows about scheduling; it is a generic simulation
 //! core kept deliberately small and heavily tested.
@@ -18,7 +20,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use events::{EventId, EventQueue};
+pub use events::{default_backend, set_default_backend, Backend, EventId, EventQueue};
 pub use hash::Fnv1a;
 pub use rng::SimRng;
 pub use time::{Dur, Time};

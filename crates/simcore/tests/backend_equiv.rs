@@ -1,0 +1,100 @@
+//! Differential property tests: the timer-wheel and binary-heap backends
+//! of [`EventQueue`] must be observably identical — same pop sequence,
+//! same lengths, same peeked keys — under arbitrary interleavings of
+//! pushes (near-term and far-future), pops, cancellations, sequence
+//! burns, and peeks. The scenario-level counterpart lives in
+//! `crates/experiments/tests/wheel_equiv.rs`.
+
+use proptest::prelude::*;
+use simcore::{Backend, EventId, EventQueue, Time};
+
+/// One step of the differential driver.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `now + delta`. Near-term deltas exercise the level-0/1
+    /// lanes; far-future ones land in the overflow heap and come back
+    /// through cursor leaps.
+    Push(u64),
+    /// Pop one event from both queues; advances `now` to the popped time.
+    Pop,
+    /// Cancel the live id at index `i % live.len()` in both queues
+    /// (no-op when nothing is live; stale ids exercise generation checks).
+    Cancel(usize),
+    /// Burn a sequence number, as the kernel's batched tick lane does.
+    AllocSeq,
+    /// Peek the head key — forces wheel cascades without consuming, and
+    /// can strand the cursor ahead of later same-time pushes.
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u64..200_000).prop_map(Op::Push),
+        1 => (0u64..(1 << 44)).prop_map(Op::Push),
+        4 => Just(Op::Pop),
+        2 => any::<usize>().prop_map(Op::Cancel),
+        1 => Just(Op::AllocSeq),
+        2 => Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    /// Whatever the op sequence, heap and wheel agree step for step.
+    #[test]
+    fn wheel_and_heap_are_observably_identical(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut heap = EventQueue::with_backend(Backend::Heap);
+        let mut wheel = EventQueue::with_backend(Backend::Wheel);
+        prop_assert_eq!(heap.backend(), Backend::Heap);
+        prop_assert_eq!(wheel.backend(), Backend::Wheel);
+
+        let mut now = 0u64;
+        let mut live: Vec<(EventId, EventId)> = Vec::new();
+        let mut payload = 0u32;
+        for op in ops {
+            match op {
+                Op::Push(delta) => {
+                    let at = Time(now.saturating_add(delta));
+                    let a = heap.push(at, payload);
+                    let b = wheel.push(at, payload);
+                    live.push((a, b));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let a = heap.pop();
+                    let b = wheel.pop();
+                    prop_assert_eq!(a, b, "pop mismatch");
+                    if let Some((at, _)) = a {
+                        now = at.0;
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !live.is_empty() {
+                        let (a, b) = live.swap_remove(i % live.len());
+                        heap.cancel(a);
+                        wheel.cancel(b);
+                    }
+                }
+                Op::AllocSeq => {
+                    prop_assert_eq!(heap.alloc_seq(), wheel.alloc_seq());
+                }
+                Op::Peek => {
+                    prop_assert_eq!(heap.peek_key(), wheel.peek_key());
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len(), "live count diverged");
+            prop_assert_eq!(heap.is_empty(), wheel.is_empty());
+        }
+
+        // Drain to the end: the tails must match event for event.
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            prop_assert_eq!(a, b, "drain mismatch");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

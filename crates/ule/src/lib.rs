@@ -32,8 +32,6 @@ pub mod interactivity;
 pub mod params;
 pub mod runq;
 
-use std::collections::BTreeMap;
-
 use sched_api::{
     DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot,
     TaskTable, Tid, WakeKind,
@@ -64,6 +62,91 @@ struct UleTask {
     last_acct: Time,
 }
 
+/// Number of tracked priority slots (0..=[`BATCH_PRIO_MAX`]).
+const PRIO_SLOTS: usize = BATCH_PRIO_MAX as usize + 1;
+/// Words in the presence bitmap covering [`PRIO_SLOTS`] bits.
+const PRIO_WORDS: usize = PRIO_SLOTS.div_ceil(64);
+
+/// Multiset of priorities of queued + running threads (`tdq_lowpri`
+/// backing store). Flat per-priority counts plus a presence bitmap: the
+/// hot probes — `add`/`remove` on every enqueue/dequeue and `min` on
+/// every placement scan — are an array bump and a couple of
+/// `trailing_zeros` words instead of BTreeMap rebalancing walks.
+struct PrioSet {
+    counts: [u32; PRIO_SLOTS],
+    bits: [u64; PRIO_WORDS],
+}
+
+impl PrioSet {
+    fn new() -> PrioSet {
+        PrioSet {
+            counts: [0; PRIO_SLOTS],
+            bits: [0; PRIO_WORDS],
+        }
+    }
+
+    fn add(&mut self, p: i32) {
+        debug_assert!(
+            (0..=BATCH_PRIO_MAX).contains(&p),
+            "priority {p} out of range"
+        );
+        let p = p as usize;
+        self.counts[p] += 1;
+        self.bits[p / 64] |= 1 << (p % 64);
+    }
+
+    fn remove(&mut self, p: i32) {
+        debug_assert!(
+            (0..=BATCH_PRIO_MAX).contains(&p),
+            "priority {p} out of range"
+        );
+        let p = p as usize;
+        match self.counts[p] {
+            0 => debug_assert!(false, "priority {p} not tracked"),
+            1 => {
+                self.counts[p] = 0;
+                self.bits[p / 64] &= !(1 << (p % 64));
+            }
+            ref mut c => *c -= 1,
+        }
+    }
+
+    /// The smallest priority present, if any.
+    fn min(&self) -> Option<i32> {
+        for (w, &bits) in self.bits.iter().enumerate() {
+            if bits != 0 {
+                return Some((w * 64 + bits.trailing_zeros() as usize) as i32);
+            }
+        }
+        None
+    }
+
+    /// Whether any thread with priority `p` is tracked.
+    fn contains(&self, p: i32) -> bool {
+        (0..=BATCH_PRIO_MAX).contains(&p) && self.counts[p as usize] > 0
+    }
+
+    /// Total threads tracked across all priorities.
+    fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Priorities currently present, ascending.
+    fn present(&self) -> impl Iterator<Item = i32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut rest = bits;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some((w * 64 + b) as i32)
+            })
+        })
+    }
+}
+
 /// Per-CPU queues (`struct tdq`).
 struct Tdq {
     interactive: PrioRunq,
@@ -74,7 +157,7 @@ struct Tdq {
     load: usize,
     /// Multiset of priorities of queued + running threads (for
     /// `tdq_lowpri`).
-    prios: BTreeMap<i32, u32>,
+    prios: PrioSet,
     /// Next calendar-clock advance (stathz cadence).
     next_stat: Time,
     /// `false` while the CPU is hotplugged out.
@@ -88,29 +171,23 @@ impl Tdq {
             batch: BatchRunq::new(),
             curr: None,
             load: 0,
-            prios: BTreeMap::new(),
+            prios: PrioSet::new(),
             next_stat: Time::ZERO,
             online: true,
         }
     }
 
     fn add_prio(&mut self, p: i32) {
-        *self.prios.entry(p).or_insert(0) += 1;
+        self.prios.add(p);
     }
 
     fn remove_prio(&mut self, p: i32) {
-        match self.prios.get_mut(&p) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                self.prios.remove(&p);
-            }
-            None => debug_assert!(false, "priority {p} not tracked"),
-        }
+        self.prios.remove(p);
     }
 
     /// The most urgent priority present (`tdq_lowpri`), or [`IDLE_PRIO`].
     fn lowpri(&self) -> i32 {
-        self.prios.keys().next().copied().unwrap_or(IDLE_PRIO)
+        self.prios.min().unwrap_or(IDLE_PRIO)
     }
 }
 
@@ -676,13 +753,13 @@ impl Scheduler for Ule {
                 usize::from(tdq.curr.is_some())
             ));
         }
-        let tracked: u64 = tdq.prios.values().map(|&c| u64::from(c)).sum();
+        let tracked = tdq.prios.total();
         if tracked != expect as u64 {
             return Err(format!(
                 "prio multiset tracks {tracked} threads, load is {expect}"
             ));
         }
-        for &p in tdq.prios.keys() {
+        for p in tdq.prios.present() {
             if !(0..=BATCH_PRIO_MAX).contains(&p) {
                 return Err(format!("tracked priority {p} out of range"));
             }
@@ -703,7 +780,7 @@ impl Scheduler for Ule {
         }
         if let Some(curr) = tdq.curr {
             let p = self.ts(curr).prio;
-            if !tdq.prios.contains_key(&p) {
+            if !tdq.prios.contains(p) {
                 return Err(format!("running {curr}'s prio {p} missing from multiset"));
             }
         }
