@@ -126,16 +126,22 @@ fn latency_probe(cfg: &RunCfg) -> Vec<LatencyProbe> {
     };
     Sched::BOTH
         .iter()
-        .map(|&sched| {
-            let (k, _ops) = scope::run_scenario("fig1", sched, &probe_cfg, None, 0)
-                .expect("fig1 is a known scenario");
-            LatencyProbe {
-                sched: sched.name().to_string(),
-                scale,
-                run_delay: k.run_delay().summary(),
-                wakeup_latency: k.wakeup_latency().summary(),
-            }
-        })
+        .filter_map(
+            |&sched| match scope::run_scenario("fig1", sched, &probe_cfg, None, 0) {
+                Ok((k, _ops)) => Some(LatencyProbe {
+                    sched: sched.name().to_string(),
+                    scale,
+                    run_delay: k.run_delay().summary(),
+                    wakeup_latency: k.wakeup_latency().summary(),
+                }),
+                Err(e) => {
+                    // The probe rides along on the throughput bench; a broken
+                    // probe scenario should not take the whole report down.
+                    eprintln!("bench latency probe skipped for {}: {e}", sched.name());
+                    None
+                }
+            },
+        )
         .collect()
 }
 

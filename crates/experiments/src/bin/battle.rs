@@ -37,8 +37,8 @@
 use std::io::Write;
 
 use experiments::{
-    ablations, bench, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz, golden,
-    runner, scenarios, scope, table1, table2, RunCfg, Sched,
+    ablations, bench, chaos, desktop, fig1, fig2, fig34, fig5, fig6, fig7, fig8, fig9, fuzz,
+    golden, runner, scenarios, scope, table1, table2, RunCfg, Sched,
 };
 use kernel::CheckMode;
 
@@ -61,6 +61,11 @@ struct Args {
     write: bool,
     /// `battle bench --compare PATH`: baseline JSON for the perf gate.
     compare: Option<String>,
+    /// `battle run --timeout SECS`: wall-clock deadline for the batch;
+    /// expired runs salvage a partial result and the command fails.
+    timeout: Option<f64>,
+    /// `battle chaos --plans N`: extra randomized budget plans per pair.
+    plans: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,8 +81,30 @@ fn parse_args() -> Result<Args, String> {
     let mut trace = false;
     let mut write = false;
     let mut compare = None;
+    let mut timeout = None;
+    let mut plans = 1u32;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--timeout" => {
+                let v = args.next().ok_or("missing value for --timeout")?;
+                let s: f64 = v.parse().map_err(|e| format!("bad --timeout: {e}"))?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err("--timeout must be positive".to_string());
+                }
+                timeout = Some(s);
+            }
+            "--case-timeout" => {
+                let v = args.next().ok_or("missing value for --case-timeout")?;
+                let s: f64 = v.parse().map_err(|e| format!("bad --case-timeout: {e}"))?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err("--case-timeout must be positive".to_string());
+                }
+                fz.case_timeout_s = s;
+            }
+            "--plans" => {
+                let v = args.next().ok_or("missing value for --plans")?;
+                plans = v.parse().map_err(|e| format!("bad --plans: {e}"))?;
+            }
             "--out" => out = args.next().ok_or("missing value for --out")?,
             "--stream" => stream = true,
             "--trace" => trace = true,
@@ -143,7 +170,7 @@ fn parse_args() -> Result<Args, String> {
             other if experiment == "trace" && !other.starts_with('-') && trace_fig.is_none() => {
                 trace_fig = Some(other.to_string());
             }
-            other if experiment == "run" && !other.starts_with('-') => {
+            other if (experiment == "run" || experiment == "chaos") && !other.starts_with('-') => {
                 paths.push(other.to_string());
             }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
@@ -162,17 +189,23 @@ fn parse_args() -> Result<Args, String> {
         trace,
         write,
         compare,
+        timeout,
+        plans,
     })
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|golden|all> \
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|chaos|golden|all> \
      [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
-     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX]\n\
+     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX] [--case-timeout SECS]\n\
      trace usage: battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream] [--sched cfs|ule|both]\n\
                   exports a Chrome-trace/Perfetto JSON of the figure's scenario (default out: trace.json)\n\
-     run usage:   battle run <scenario.toml|dir>... [--sched cfs|ule|both] [--trace] [--json PATH]\n\
-                  executes declarative scenario files (see scenarios/ and EXPERIMENTS.md)\n\
+     run usage:   battle run <scenario.toml|dir>... [--sched cfs|ule|both] [--trace] [--json PATH] [--timeout SECS]\n\
+                  executes declarative scenario files (see scenarios/ and EXPERIMENTS.md);\n\
+                  --timeout cancels overrunning kernels cooperatively and salvages partial results\n\
+     chaos usage: battle chaos <scenario.toml|dir>... [--plans N] [--scale S] [--seed N] [--json PATH]\n\
+                  SchedGuard supervision campaign: control vs guarded vs budget-killed runs plus\n\
+                  injected panic/livelock/runaway/cancel probes; every case classified, no job loss\n\
      golden:      battle golden [--write] — check (or record) the pinned decision digests\n\
      bench gate:  battle bench --compare BENCH_sim.json — fail on >30 % events/sec regression"
         .to_string()
@@ -186,7 +219,13 @@ fn dump_json(path: &Option<String>, value: &impl serde::Serialize) -> bool {
     let Some(p) = path else {
         return true;
     };
-    let s = serde_json::to_string_pretty(value).expect("serializable");
+    let s = match serde_json::to_string_pretty(value) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serialize output for {p}: {e}");
+            return false;
+        }
+    };
     match std::fs::write(p, s) {
         Ok(()) => true,
         Err(e) => {
@@ -320,12 +359,17 @@ fn run_one(name: &str, args: &Args, json: &Option<String>) -> bool {
             print_validation("ablations", ablations::validate(&a));
             dump_json(json, &a)
         }
-        "desktop" => {
-            let d = desktop::run(cfg);
-            print!("{}", desktop::report(&d));
-            print_validation("desktop", desktop::validate(&d));
-            dump_json(json, &d)
-        }
+        "desktop" => match desktop::try_run(cfg) {
+            Ok(d) => {
+                print!("{}", desktop::report(&d));
+                print_validation("desktop", desktop::validate(&d));
+                dump_json(json, &d)
+            }
+            Err(e) => {
+                eprintln!("desktop cross-check failed: {e}");
+                false
+            }
+        },
         "fuzz" => {
             let r = fuzz::run(fz);
             print!("{}", fuzz::report(&r));
@@ -413,7 +457,23 @@ fn main() {
             sched_override,
             args.trace,
             &args.json,
+            args.timeout,
         );
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.experiment == "chaos" {
+        if args.paths.is_empty() {
+            eprintln!(
+                "chaos needs at least one scenario file or directory\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+        ok = chaos::cli(&args.paths, &args.cfg, args.plans, &args.json);
         std::io::stdout().flush().ok();
         if !ok {
             std::process::exit(1);

@@ -36,6 +36,20 @@ impl Crash {
         }
     }
 
+    /// Bundle for a job that panicked instead of returning. There is no
+    /// kernel to post-mortem (the unwind tore it down), so the report is
+    /// the panic message itself; the replay line is what matters.
+    pub fn from_panic(label: &str, message: &str, replay: &str) -> Crash {
+        Crash {
+            label: label.to_string(),
+            error: format!("panic: {message}"),
+            report: format!(
+                "panicked job (no kernel post-mortem available)\nlabel: {label}\npanic: {message}\n"
+            ),
+            replay: replay.to_string(),
+        }
+    }
+
     /// The bundle as written to disk.
     pub fn render(&self) -> String {
         format!("{}\nreplay: {}\n", self.report, self.replay)

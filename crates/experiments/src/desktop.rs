@@ -61,16 +61,36 @@ fn unpin_spread(sched: Sched, cfg: &RunCfg) -> u32 {
     k.queue_unpin(Time::ZERO + Dur::millis(200), app);
     k.run_until(Time::ZERO + Dur::millis(1200));
     let counts: Vec<usize> = (0..8).map(|c| k.nr_queued(CpuId(c))).collect();
-    (*counts.iter().max().unwrap() - *counts.iter().min().unwrap()) as u32
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    (max - min) as u32
+}
+
+/// Run the desktop cross-check, aborting the process on error (figure
+/// drivers' legacy contract; `battle` uses [`try_run`]).
+pub fn run(cfg: &RunCfg) -> Desktop {
+    match try_run(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("desktop cross-check failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Run the desktop cross-check. The eight underlying simulations are
 /// independent, so they go through the runner pool.
-pub fn run(cfg: &RunCfg) -> Desktop {
+pub fn try_run(cfg: &RunCfg) -> Result<Desktop, String> {
     let topo = &Topology::core_i7_3770();
     let all = suite();
-    let apache = all.iter().find(|e| e.name == "Apache").expect("apache");
-    let mg = all.iter().find(|e| e.name == "MG").expect("mg");
+    let apache = all
+        .iter()
+        .find(|e| e.name == "Apache")
+        .ok_or("suite is missing the Apache entry")?;
+    let mg = all
+        .iter()
+        .find(|e| e.name == "MG")
+        .ok_or("suite is missing the MG entry")?;
     let p = |e: &workloads::Entry, s| run_entry(e, s, topo, cfg, true).perf;
     let _ = P::full(8); // the machine size the entries will see
     let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = vec![
@@ -84,14 +104,14 @@ pub fn run(cfg: &RunCfg) -> Desktop {
         Box::new(|| p(mg, Sched::Cfs)),
     ];
     let r = crate::runner::run_all(jobs);
-    Desktop {
+    Ok(Desktop {
         fibo_gain_cfs_s: r[0],
         fibo_gain_ule_s: r[1],
         apache_diff_pct: pct_diff(r[2], r[3]),
         spread_after_1s_cfs: r[4] as u32,
         spread_after_1s_ule: r[5] as u32,
         mg_diff_pct: pct_diff(r[6], r[7]),
-    }
+    })
 }
 
 /// Render the comparison.

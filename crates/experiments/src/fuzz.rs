@@ -15,7 +15,8 @@
 
 use cfs::Cfs;
 use kernel::{
-    Action, AppSpec, CheckMode, FaultPlan, Kernel, Script, SimConfig, SimError, ThreadSpec,
+    Action, AppSpec, CancelToken, CheckMode, FaultPlan, Kernel, Script, SimConfig, SimError,
+    ThreadSpec,
 };
 use simcore::{Dur, SimRng, Time};
 use topology::Topology;
@@ -49,6 +50,13 @@ pub struct FuzzCfg {
     pub parts: u8,
     /// Run exactly one case with this exact seed (replay mode).
     pub case_seed: Option<u64>,
+    /// Per-case timeout in seconds (`--case-timeout`). Bounds both the
+    /// *simulated* run (an unfinished app at this simulated time is a
+    /// genuine hang and fails the case — the old hardcoded 120 s) and the
+    /// *wall clock* (a case that takes this long in real time is
+    /// cooperatively cancelled and reported, without failing the
+    /// campaign, since wall-clock cancellation is host-dependent).
+    pub case_timeout_s: f64,
 }
 
 impl Default for FuzzCfg {
@@ -60,6 +68,7 @@ impl Default for FuzzCfg {
             faults: true,
             parts: PART_ALL,
             case_seed: None,
+            case_timeout_s: 120.0,
         }
     }
 }
@@ -92,6 +101,10 @@ pub struct FuzzReport {
     pub faults: bool,
     /// Shrunk failures, if any.
     pub failures: Vec<Failure>,
+    /// Cases cancelled by the wall-clock deadline (reported, not failed:
+    /// the abort point depends on host speed, so these are not
+    /// reproducible invariant violations).
+    pub cancelled: u32,
     /// Total kernel events across all runs.
     pub events: u64,
     /// Total spurious wakeups injected.
@@ -255,6 +268,15 @@ fn build_case(k: &mut Kernel, cs: u64, parts: u8) {
     k.queue_app(Time::ZERO, AppSpec::new("fuzz", threads));
 }
 
+/// Why one case did not return clean counters.
+enum CaseFail {
+    /// Invariant violation or kernel error: reproducible, shrinkable.
+    Error { error: String, report: String },
+    /// The wall-clock deadline expired mid-run. Not shrinkable (the abort
+    /// point depends on host speed, not the workload).
+    Cancelled,
+}
+
 /// Run one case under one scheduler. `Ok` carries the kernel's counters
 /// for aggregation.
 fn run_case(
@@ -262,7 +284,9 @@ fn run_case(
     sched: Sched,
     parts: u8,
     faults: bool,
-) -> Result<kernel::Counters, (String, String)> {
+    timeout_s: f64,
+    cancel: Option<&CancelToken>,
+) -> Result<kernel::Counters, CaseFail> {
     let mut base = SimRng::new(cs);
     let topo = pick_topo(&mut base.fork(1));
     let mut cfg = SimConfig::with_seed(cs);
@@ -280,31 +304,43 @@ fn run_case(
         )),
     };
     let mut k = Kernel::new(topo, cfg, class);
+    if let Some(token) = cancel {
+        k.set_cancel_token(token.clone());
+    }
     build_case(&mut k, cs, parts);
-    // Fuzz workloads are a few hundred simulated ms; 120 s means a timeout
-    // is a genuine hang (lost wakeup / livelock), not slowness.
-    let limit = Time::ZERO + Dur::secs(120);
+    // Fuzz workloads are a few hundred simulated ms; the default 120 s
+    // means a simulated-time timeout is a genuine hang (lost wakeup /
+    // livelock), not slowness.
+    let limit = Time::ZERO + Dur::secs_f64(timeout_s);
     let err = match k.try_run_until_apps_done(limit) {
         Ok(true) => return Ok(k.counters().clone()),
         Ok(false) => SimError::Invariant {
             at: k.now(),
             detail: "app not finished at the time limit (lost wakeup or livelock?)".into(),
         },
+        Err(SimError::Cancelled { .. }) => return Err(CaseFail::Cancelled),
         Err(e) => e,
     };
-    Err((err.to_string(), k.crash_report(&err)))
+    Err(CaseFail::Error {
+        error: err.to_string(),
+        report: k.crash_report(&err),
+    })
 }
 
 /// Greedily drop workload parts while the failure still reproduces;
-/// returns the minimal mask.
-fn shrink(cs: u64, sched: Sched, mut parts: u8, faults: bool) -> u8 {
+/// returns the minimal mask. Shrink runs are never wall-clock cancelled
+/// (a cancelled replay says nothing about the workload).
+fn shrink(cs: u64, sched: Sched, mut parts: u8, faults: bool, timeout_s: f64) -> u8 {
     loop {
         let mut shrunk = false;
         for bit in [PART_HOGS, PART_INTERACTIVE, PART_PIPELINE, PART_SYNC] {
             if parts & bit == 0 || parts == bit {
                 continue;
             }
-            if run_case(cs, sched, parts & !bit, faults).is_err() {
+            if matches!(
+                run_case(cs, sched, parts & !bit, faults, timeout_s, None),
+                Err(CaseFail::Error { .. })
+            ) {
                 parts &= !bit;
                 shrunk = true;
             }
@@ -333,20 +369,32 @@ pub fn run(cfg: &FuzzCfg) -> FuzzReport {
     let scheds = cfg.scheds.clone();
     let faults = cfg.faults;
     let parts = cfg.parts;
+    let timeout_s = cfg.case_timeout_s;
     let outcomes = runner::par_map(seeds, move |cs| {
+        // One wall-clock deadline per case: slow hosts abort the case
+        // cooperatively instead of wedging the campaign.
+        let token = CancelToken::with_deadline(std::time::Duration::from_secs_f64(timeout_s));
         let mut events = 0u64;
         let mut spurious = 0u64;
         let mut hotplug = 0u64;
+        let mut cancelled = 0u32;
         let mut failures = Vec::new();
         for &sched in &scheds {
-            match run_case(cs, sched, parts, faults) {
+            match run_case(cs, sched, parts, faults, timeout_s, Some(&token)) {
                 Ok(c) => {
                     events += c.events;
                     spurious += c.spurious_wakes;
                     hotplug += c.hotplug_events;
                 }
-                Err((error, report)) => {
-                    let minimal = shrink(cs, sched, parts, faults);
+                Err(CaseFail::Cancelled) => {
+                    eprintln!(
+                        "fuzz case {cs:#x} [{}] cancelled after {timeout_s}s wall clock",
+                        sched.name()
+                    );
+                    cancelled += 1;
+                }
+                Err(CaseFail::Error { error, report }) => {
+                    let minimal = shrink(cs, sched, parts, faults, timeout_s);
                     let repro = format!(
                         "battle fuzz --case-seed {cs:#x} --parts {minimal} --sched {} --faults {}",
                         sched_flag(&[sched]),
@@ -370,7 +418,7 @@ pub fn run(cfg: &FuzzCfg) -> FuzzReport {
                 }
             }
         }
-        (events, spurious, hotplug, failures)
+        (events, spurious, hotplug, cancelled, failures)
     });
 
     let mut report = FuzzReport {
@@ -378,14 +426,16 @@ pub fn run(cfg: &FuzzCfg) -> FuzzReport {
         seed: cfg.seed,
         faults: cfg.faults,
         failures: Vec::new(),
+        cancelled: 0,
         events: 0,
         spurious_wakes: 0,
         hotplug_events: 0,
     };
-    for (e, s, h, f) in outcomes {
+    for (e, s, h, c, f) in outcomes {
         report.events += e;
         report.spurious_wakes += s;
         report.hotplug_events += h;
+        report.cancelled += c;
         report.failures.extend(f);
     }
     report
@@ -410,6 +460,12 @@ pub fn report(r: &FuzzReport) -> String {
         r.spurious_wakes,
         r.hotplug_events
     );
+    if r.cancelled > 0 {
+        s.push_str(&format!(
+            "{} case run(s) hit the wall-clock deadline and were cancelled\n",
+            r.cancelled
+        ));
+    }
     if r.failures.is_empty() {
         s.push_str("no invariant violations\n");
     } else {

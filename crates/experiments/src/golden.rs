@@ -110,6 +110,11 @@ pub struct EntryDigests {
     pub name: String,
     /// `(scheduler, digest)` pairs in run order.
     pub digests: Vec<(String, u64)>,
+    /// Schedulers whose run was aborted by supervision (budget, watchdog
+    /// or cancellation) and produced only a partial digest. A partial
+    /// digest must never become a baseline: `--write` refuses it, a check
+    /// flags it loudly.
+    pub partial: Vec<String>,
     /// Error while computing (scenario parse failure, crash).
     pub error: Option<String>,
 }
@@ -132,6 +137,7 @@ fn compute(entry: &Entry) -> EntryDigests {
     let mut out = EntryDigests {
         name: entry.name.to_string(),
         digests: Vec::new(),
+        partial: Vec::new(),
         error: None,
     };
     match &entry.job {
@@ -177,14 +183,17 @@ fn compute(entry: &Entry) -> EntryDigests {
                     ..EngineOpts::default()
                 };
                 for &sched in &[Sched::Cfs, Sched::Ule] {
+                    let label = match sched {
+                        Sched::Cfs => "cfs",
+                        Sched::Ule => "ule",
+                    };
                     match scenario::run_sched(&sc, sched, &opts) {
-                        Ok(r) => out.digests.push((
-                            match sched {
-                                Sched::Cfs => "cfs".into(),
-                                Sched::Ule => "ule".into(),
-                            },
-                            r.run.digest,
-                        )),
+                        Ok(r) => {
+                            if r.run.partial {
+                                out.partial.push(label.into());
+                            }
+                            out.digests.push((label.into(), r.run.digest));
+                        }
                         Err(e) => {
                             out.error = Some(format!("{path}: {e}"));
                             break;
@@ -249,6 +258,19 @@ pub fn write_all() -> bool {
             ok = false;
             continue;
         }
+        if !d.partial.is_empty() {
+            // A budget-killed (or otherwise aborted) run's digest-so-far is
+            // deterministic but meaningless as a baseline: it pins where
+            // the guard fired, not what the scheduler decided. Refuse.
+            eprintln!(
+                "[{}] REFUSING to write golden: run(s) [{}] were aborted by supervision \
+                 and only salvaged a partial digest",
+                d.name,
+                d.partial.join(", ")
+            );
+            ok = false;
+            continue;
+        }
         let path = golden_path(entry.name);
         match std::fs::write(&path, render_file(entry, d)) {
             Ok(()) => println!(
@@ -305,6 +327,25 @@ pub fn check_all() -> bool {
         };
         for (sched, got) in &d.digests {
             let exp = expected.iter().find(|(s, _)| s == sched).map(|&(_, v)| v);
+            if d.partial.iter().any(|p| p == sched) {
+                // The recomputed run aborted mid-flight; its digest-so-far
+                // is not comparable to a full-run baseline.
+                println!(
+                    "::warning title=golden partial run::[{}/{sched}] golden run was aborted \
+                     by supervision; baseline not comparable",
+                    d.name
+                );
+                t.push(&[
+                    d.name.clone(),
+                    sched.clone(),
+                    exp.map(|v| format!("{v:016x}"))
+                        .unwrap_or_else(|| "-".into()),
+                    format!("{got:016x}"),
+                    "PARTIAL (run aborted — not comparable)".to_string(),
+                ]);
+                ok = false;
+                continue;
+            }
             let (exp_s, status) = match exp {
                 Some(v) if v == *got => (format!("{v:016x}"), "ok".to_string()),
                 Some(v) => {

@@ -28,6 +28,7 @@
 
 pub mod ablations;
 pub mod bench;
+pub mod chaos;
 pub mod crash;
 pub mod desktop;
 pub mod fig1;
@@ -126,6 +127,9 @@ pub struct SchedObs {
     /// Decision digest at the end of the run (what the golden-digest
     /// regression gate pins).
     pub digest: u64,
+    /// `true` if the run was aborted by supervision (budget, watchdog or
+    /// cancellation) and these numbers are a salvaged partial snapshot.
+    pub partial: bool,
 }
 
 /// Capture a [`SchedObs`] from a kernel at the end of a run.
@@ -135,6 +139,16 @@ pub fn obs_of(k: &Kernel) -> SchedObs {
         run_delay: k.run_delay().summary(),
         wakeup_latency: k.wakeup_latency().summary(),
         digest: k.decision_digest(),
+        partial: false,
+    }
+}
+
+/// Capture a [`SchedObs`] from a kernel whose run was aborted by
+/// supervision: same counters/histograms/digest-so-far, marked partial.
+pub fn obs_of_partial(k: &Kernel) -> SchedObs {
+    SchedObs {
+        partial: true,
+        ..obs_of(k)
     }
 }
 

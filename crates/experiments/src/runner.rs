@@ -15,14 +15,26 @@
 //! `--threads 32`. The cross-thread determinism test in
 //! `tests/determinism.rs` pins this down.
 //!
+//! **Panic isolation (SchedGuard).** Every job runs under
+//! [`std::panic::catch_unwind`]: one panicking simulation never takes down
+//! its siblings or the pool. The `_supervised` entry points surface the
+//! panic as a [`JobOutcome::Panicked`] value in the job's result slot; the
+//! legacy [`run_all`]/[`par_map`] entry points finish every sibling first
+//! and then re-raise the first panic on the caller's thread, preserving
+//! their infallible signatures. Mutex poisoning cannot occur: a panic is
+//! caught before it can poison a cell/slot lock, and the locks are taken
+//! through a poison-tolerant helper regardless.
+//!
 //! The pool is a std-only work-stealing-free design: a shared atomic job
 //! index hands each worker the next unclaimed job (scoped threads, no
 //! channels needed because each job writes to its own result slot). This
 //! crate deliberately avoids external thread-pool dependencies so the
 //! workspace builds offline.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Global worker-count override. 0 = unset, fall back to
 /// [`std::thread::available_parallelism`].
@@ -64,17 +76,62 @@ impl<T> SimJob<T> {
     }
 }
 
-/// Run labelled jobs on the pool; results come back in job order.
-pub fn run_jobs<T: Send>(jobs: Vec<SimJob<T>>) -> Vec<T> {
-    run_all(jobs.into_iter().map(|j| j.run).collect())
+/// How one supervised job ended.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Done(T),
+    /// The job panicked; the payload is rendered to a message. Sibling
+    /// jobs and the pool were unaffected.
+    Panicked(String),
 }
 
-/// Run every closure, using up to [`threads`] worker threads, and return
-/// the results **in input order** regardless of execution interleaving.
-///
-/// With one worker (or one job) everything runs inline on the caller's
-/// thread — no spawning, identical code path to the sequential version.
-pub fn run_all<T, F>(jobs: Vec<F>) -> Vec<T>
+impl<T> JobOutcome<T> {
+    /// The result, if the job completed.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Done(v) => Some(v),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+
+    /// The panic message, if the job panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Done(_) => None,
+            JobOutcome::Panicked(m) => Some(m),
+        }
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a mutex, tolerating poisoning (a poisoned lock only means some
+/// other job panicked; the data — an `Option` slot — is still valid).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Raw per-job outcome, carrying the original panic payload so the legacy
+/// entry points can re-raise it unchanged.
+enum Raw<T> {
+    Done(T),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// The core pool: run every closure under `catch_unwind`, up to
+/// [`threads`] workers, results in input order.
+fn run_all_raw<T, F>(jobs: Vec<F>) -> Vec<Raw<T>>
 where
     T: Send,
     F: FnOnce() -> T + Send,
@@ -82,14 +139,20 @@ where
     let n = jobs.len();
     let workers = threads().min(n);
     if workers <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
+        return jobs
+            .into_iter()
+            .map(|f| match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => Raw::Done(v),
+                Err(p) => Raw::Panicked(p),
+            })
+            .collect();
     }
 
     // Each job sits in its own cell; workers claim cells through a shared
     // atomic cursor and write each result into the slot with the same
     // index, so collection order never depends on scheduling.
     let cells: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Raw<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
@@ -99,16 +162,98 @@ where
                 if i >= n {
                     break;
                 }
-                let f = cells[i].lock().unwrap().take().expect("job claimed once");
-                let out = f();
-                *slots[i].lock().unwrap() = Some(out);
+                let Some(f) = lock_clean(&cells[i]).take() else {
+                    continue; // cursor hands indices out once; defensive
+                };
+                let out = match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => Raw::Done(v),
+                    Err(p) => Raw::Panicked(p),
+                };
+                *lock_clean(&slots[i]) = Some(out);
             });
         }
     });
 
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every job ran"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                // A claimed job always writes its slot (the write is after
+                // catch_unwind); an empty slot would mean a worker died
+                // outside the catch, which we surface instead of hiding.
+                .unwrap_or_else(|| Raw::Panicked(Box::new("job result slot empty".to_string())))
+        })
+        .collect()
+}
+
+/// Run labelled jobs on the pool; results come back in job order.
+pub fn run_jobs<T: Send>(jobs: Vec<SimJob<T>>) -> Vec<T> {
+    run_all(jobs.into_iter().map(|j| j.run).collect())
+}
+
+/// Run labelled jobs with panic isolation; each result slot reports
+/// [`JobOutcome::Panicked`] with the job's label prefixed if that job
+/// panicked, while its siblings complete normally.
+pub fn run_jobs_supervised<T: Send>(jobs: Vec<SimJob<T>>) -> Vec<JobOutcome<T>> {
+    let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+    let raw = run_all_raw(jobs.into_iter().map(|j| j.run).collect());
+    raw.into_iter()
+        .zip(labels)
+        .map(|(r, label)| match r {
+            Raw::Done(v) => JobOutcome::Done(v),
+            Raw::Panicked(p) => {
+                JobOutcome::Panicked(format!("{label}: {}", panic_message(p.as_ref())))
+            }
+        })
+        .collect()
+}
+
+/// Run every closure, using up to [`threads`] worker threads, and return
+/// the results **in input order** regardless of execution interleaving.
+///
+/// With one worker (or one job) everything runs inline on the caller's
+/// thread — no spawning, identical code path to the sequential version.
+///
+/// A panicking job no longer aborts its siblings: every other job still
+/// runs to completion, after which the first panic is re-raised here.
+/// Use [`run_all_supervised`] to receive panics as values instead.
+pub fn run_all<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    let out: Vec<T> = run_all_raw(jobs)
+        .into_iter()
+        .filter_map(|r| match r {
+            Raw::Done(v) => Some(v),
+            Raw::Panicked(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+                None
+            }
+        })
+        .collect();
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+    out
+}
+
+/// [`run_all`] with panic isolation: each job's slot reports how it ended.
+pub fn run_all_supervised<T, F>(jobs: Vec<F>) -> Vec<JobOutcome<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_all_raw(jobs)
+        .into_iter()
+        .map(|r| match r {
+            Raw::Done(v) => JobOutcome::Done(v),
+            Raw::Panicked(p) => JobOutcome::Panicked(panic_message(p.as_ref())),
+        })
         .collect()
 }
 
@@ -121,6 +266,18 @@ where
 {
     let f = &f;
     run_all(items.into_iter().map(|it| move || f(it)).collect())
+}
+
+/// [`par_map`] with panic isolation: a panicking item becomes
+/// [`JobOutcome::Panicked`] while the rest of the sweep completes.
+pub fn par_map_supervised<I, T, F>(items: Vec<I>, f: F) -> Vec<JobOutcome<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Send + Sync,
+{
+    let f = &f;
+    run_all_supervised(items.into_iter().map(|it| move || f(it)).collect())
 }
 
 /// Run two closures, possibly in parallel, returning both results.
@@ -137,7 +294,12 @@ where
     std::thread::scope(|s| {
         let hb = s.spawn(fb);
         let a = fa();
-        let b = hb.join().expect("worker panicked");
+        let b = match hb.join() {
+            Ok(b) => b,
+            // Re-raise the worker's panic on the caller's thread with its
+            // original payload instead of a generic join abort.
+            Err(p) => std::panic::resume_unwind(p),
+        };
         (a, b)
     })
 }
@@ -195,5 +357,59 @@ mod tests {
         let jobs = vec![SimJob::new("one", || 1), SimJob::new("two", || 2)];
         assert_eq!(jobs[0].label, "one");
         assert_eq!(run_jobs(jobs), vec![1, 2]);
+    }
+
+    #[test]
+    fn supervised_panic_is_isolated_per_slot() {
+        let _g = LOCK.lock().unwrap();
+        for workers in [1, 4] {
+            set_threads(workers);
+            let out = par_map_supervised(vec![1, 2, 3, 4], |x| {
+                if x == 2 {
+                    panic!("boom on {x}");
+                }
+                x * 10
+            });
+            assert!(matches!(out[0], JobOutcome::Done(10)));
+            assert_eq!(out[1].panic_message(), Some("boom on 2"));
+            assert!(matches!(out[2], JobOutcome::Done(30)));
+            assert!(matches!(out[3], JobOutcome::Done(40)));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn run_all_reraises_after_finishing_siblings() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(2);
+        use std::sync::atomic::AtomicUsize;
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        RAN.store(0, Ordering::Relaxed);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| {
+                RAN.fetch_add(1, Ordering::Relaxed);
+                1
+            }),
+            Box::new(|| panic!("legacy propagation")),
+            Box::new(|| {
+                RAN.fetch_add(1, Ordering::Relaxed);
+                3
+            }),
+        ];
+        let caught = catch_unwind(AssertUnwindSafe(|| run_all(jobs)));
+        assert!(caught.is_err(), "legacy run_all still propagates panics");
+        assert_eq!(RAN.load(Ordering::Relaxed), 2, "siblings ran to completion");
+        set_threads(0);
+    }
+
+    #[test]
+    fn supervised_labels_prefix_panics() {
+        let jobs = vec![
+            SimJob::new("ok-job", || 7usize),
+            SimJob::new("bad-job", || panic!("exploded")),
+        ];
+        let out = run_jobs_supervised(jobs);
+        assert!(matches!(out[0], JobOutcome::Done(7)));
+        assert_eq!(out[1].panic_message(), Some("bad-job: exploded"));
     }
 }

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
-use kernel::CheckMode;
+use kernel::{CancelToken, CheckMode};
 use scenario::{EngineError, EngineOpts, Scenario, ScenarioRun, Sched};
 
 use crate::scope::{Analyzer, ChromeTrace, BUFFERED_CAPACITY};
@@ -76,13 +76,32 @@ pub fn load(paths: &[String]) -> Result<Vec<(PathBuf, Scenario)>, String> {
     Ok(out)
 }
 
-fn opts_for(cfg: &RunCfg) -> EngineOpts {
+fn opts_for(cfg: &RunCfg, cancel: Option<&CancelToken>) -> EngineOpts {
     EngineOpts {
         scale: cfg.scale,
         seed: cfg.seed,
         check: check_mode(),
         trace_capacity: 0,
+        cancel: cancel.cloned(),
+        ..EngineOpts::default()
     }
+}
+
+/// Failure lines for supervised aborts: a run that was budget-killed,
+/// livelocked or cancelled still salvaged a partial result (it appears in
+/// `runs` with `partial: true`), but the scenario as a whole did not
+/// complete, so the report must fail.
+fn partial_failures(runs: &[ScenarioRun]) -> Vec<String> {
+    runs.iter()
+        .filter(|r| r.partial)
+        .map(|r| {
+            format!(
+                "[{}] partial: {}",
+                r.sched.name(),
+                r.abort.as_deref().unwrap_or("aborted by supervision")
+            )
+        })
+        .collect()
 }
 
 fn crash_failure(path: &Path, sc: &Scenario, cfg: &RunCfg, c: &scenario::EngineCrash) -> String {
@@ -107,12 +126,22 @@ fn crash_failure(path: &Path, sc: &Scenario, cfg: &RunCfg, c: &scenario::EngineC
 /// Run every loaded scenario. Parallel across (scenario, scheduler) jobs
 /// unless `trace_dir` is set, in which case runs go sequentially and each
 /// scenario writes `<trace_dir>/<stem>.trace.json`.
+///
+/// `timeout_s` arms one shared wall-clock deadline for the whole batch:
+/// when it expires every in-flight kernel aborts at its next cancellation
+/// poll, salvages a partial result, and the report fails. A panicking job
+/// (impossible in a healthy build, but chaos tests inject them) is
+/// isolated: siblings finish, the panic becomes a failure line plus a
+/// crash bundle.
 pub fn run_all(
     scenarios: &[(PathBuf, Scenario)],
     cfg: &RunCfg,
     sched_override: Option<Sched>,
     trace_dir: Option<&Path>,
+    timeout_s: Option<f64>,
 ) -> Vec<RunReport> {
+    let cancel =
+        timeout_s.map(|s| CancelToken::with_deadline(std::time::Duration::from_secs_f64(s)));
     let scheds_of = |sc: &Scenario| -> Vec<Sched> {
         match sched_override {
             Some(s) => vec![s],
@@ -122,7 +151,7 @@ pub fn run_all(
     if let Some(dir) = trace_dir {
         return scenarios
             .iter()
-            .map(|(path, sc)| run_traced(path, sc, cfg, &scheds_of(sc), dir))
+            .map(|(path, sc)| run_traced(path, sc, cfg, &scheds_of(sc), dir, cancel.as_ref()))
             .collect();
     }
     let jobs: Vec<(usize, Sched)> = scenarios
@@ -130,17 +159,15 @@ pub fn run_all(
         .enumerate()
         .flat_map(|(i, (_, sc))| scheds_of(sc).into_iter().map(move |s| (i, s)))
         .collect();
-    let results = runner::par_map(jobs, |(i, sched)| {
+    let cancel_ref = cancel.as_ref();
+    let outcomes = runner::par_map_supervised(jobs.clone(), |(i, sched)| {
         let (path, sc) = &scenarios[i];
-        (
-            i,
-            scenario::run_sched(sc, sched, &opts_for(cfg))
-                .map(|o| o.run)
-                .map_err(|e| match e {
-                    EngineError::Spec(s) => format!("[{}] {s}", sched.name()),
-                    EngineError::Crash(c) => crash_failure(path, sc, cfg, &c),
-                }),
-        )
+        scenario::run_sched(sc, sched, &opts_for(cfg, cancel_ref))
+            .map(|o| o.run)
+            .map_err(|e| match e {
+                EngineError::Spec(s) => format!("[{}] {s}", sched.name()),
+                EngineError::Crash(c) => crash_failure(path, sc, cfg, &c),
+            })
     });
     let mut reports: Vec<RunReport> = scenarios
         .iter()
@@ -151,19 +178,48 @@ pub fn run_all(
             failures: Vec::new(),
         })
         .collect();
-    for (i, result) in results {
-        match result {
-            Ok(run) => reports[i].runs.push(run),
-            Err(msg) => reports[i].failures.push(msg),
+    for (&(i, sched), outcome) in jobs.iter().zip(outcomes) {
+        match outcome {
+            runner::JobOutcome::Done(Ok(run)) => reports[i].runs.push(run),
+            runner::JobOutcome::Done(Err(msg)) => reports[i].failures.push(msg),
+            runner::JobOutcome::Panicked(msg) => {
+                let (path, sc) = &scenarios[i];
+                let bundle = crash::Crash::from_panic(
+                    &format!("{}-{}", sc.name, sched.name()),
+                    &msg,
+                    &format!(
+                        "battle run {} --seed {} --scale {} --check strict",
+                        path.display(),
+                        cfg.seed,
+                        cfg.scale
+                    ),
+                );
+                let written = match bundle.write_bundle() {
+                    Ok(p) => format!(" (bundle: {})", p.display()),
+                    Err(e) => format!(" (bundle write failed: {e})"),
+                };
+                reports[i]
+                    .failures
+                    .push(format!("[{}] panic: {msg}{written}", sched.name()));
+            }
         }
     }
     for (report, (_, sc)) in reports.iter_mut().zip(scenarios) {
+        let partial = partial_failures(&report.runs);
+        report.failures.extend(partial);
         report.failures.extend(scenario::failures(sc, &report.runs));
     }
     reports
 }
 
-fn run_traced(path: &Path, sc: &Scenario, cfg: &RunCfg, scheds: &[Sched], dir: &Path) -> RunReport {
+fn run_traced(
+    path: &Path,
+    sc: &Scenario,
+    cfg: &RunCfg,
+    scheds: &[Sched],
+    dir: &Path,
+    cancel: Option<&CancelToken>,
+) -> RunReport {
     let mut report = RunReport {
         scenario: sc.name.clone(),
         path: path.display().to_string(),
@@ -187,7 +243,7 @@ fn run_traced(path: &Path, sc: &Scenario, cfg: &RunCfg, scheds: &[Sched], dir: &
             }
         };
     for (i, &sched) in scheds.iter().enumerate() {
-        let mut opts = opts_for(cfg);
+        let mut opts = opts_for(cfg, cancel);
         if trace.is_some() {
             opts.trace_capacity = BUFFERED_CAPACITY;
         }
@@ -228,6 +284,8 @@ fn run_traced(path: &Path, sc: &Scenario, cfg: &RunCfg, scheds: &[Sched], dir: &
                 .push("trace writer still shared".to_string()),
         }
     }
+    let partial = partial_failures(&report.runs);
+    report.failures.extend(partial);
     report.failures.extend(scenario::failures(sc, &report.runs));
     report
 }
@@ -238,8 +296,9 @@ pub fn render(report: &RunReport) -> String {
     for r in &report.runs {
         let apps_done: usize = r.apps.iter().filter(|a| a.done).count();
         s.push_str(&format!(
-            "  [{}] digest {}  end {:.3}s  apps {}/{} done  ctx {}  migr {}  run-delay p99 {:.3}ms\n",
+            "  [{}]{} digest {}  end {:.3}s  apps {}/{} done  ctx {}  migr {}  run-delay p99 {:.3}ms\n",
             r.sched.name(),
+            if r.partial { " PARTIAL" } else { "" },
             r.digest_hex,
             r.end_s,
             apps_done,
@@ -267,6 +326,7 @@ pub fn cli(
     sched_override: Option<Sched>,
     trace: bool,
     json: &Option<String>,
+    timeout_s: Option<f64>,
 ) -> bool {
     let scenarios = match load(paths) {
         Ok(s) => s,
@@ -284,7 +344,13 @@ pub fn cli(
         if strict { " [strict]" } else { "" }
     );
     let trace_dir = trace.then(|| PathBuf::from("traces"));
-    let reports = run_all(&scenarios, cfg, sched_override, trace_dir.as_deref());
+    let reports = run_all(
+        &scenarios,
+        cfg,
+        sched_override,
+        trace_dir.as_deref(),
+        timeout_s,
+    );
     for report in &reports {
         print!("{}", render(report));
     }
@@ -296,10 +362,17 @@ pub fn cli(
     );
     let mut ok = failed == 0;
     if let Some(p) = json {
-        let s = serde_json::to_string_pretty(&reports).expect("serializable");
-        if let Err(e) = std::fs::write(p, s) {
-            eprintln!("cannot write {p}: {e}");
-            ok = false;
+        match serde_json::to_string_pretty(&reports) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(p, s) {
+                    eprintln!("cannot write {p}: {e}");
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot serialize report for {p}: {e}");
+                ok = false;
+            }
         }
     }
     ok

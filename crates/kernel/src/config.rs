@@ -3,6 +3,7 @@
 use simcore::Dur;
 
 use crate::fault::FaultPlan;
+use crate::guard::RunBudget;
 
 /// How much runtime invariant checking (SchedSan) to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +64,21 @@ pub struct SimConfig {
     /// [`simcore::default_backend`] (the `BATTLE_EVENT_QUEUE` env var or
     /// the timer wheel); set explicitly for differential testing.
     pub event_queue: Option<simcore::Backend>,
+    /// SchedGuard resource budget. Inert by default; a run that exceeds a
+    /// set ceiling aborts with [`crate::SimError::BudgetExceeded`], leaving
+    /// its state readable for partial-result salvage.
+    pub budget: RunBudget,
+    /// SchedGuard no-progress watchdog: abort with
+    /// [`crate::SimError::Livelock`] after this many consecutive events at
+    /// one simulated instant (0 disables). The default is two orders of
+    /// magnitude above the largest legitimate same-time burst (a
+    /// thundering-herd wakeup of a few hundred threads), so real workloads
+    /// never trip it while a wedged sim dies in microseconds of wall time.
+    pub watchdog_stall_events: u32,
+    /// SchedGuard ping-pong watchdog: abort after this many back-to-back
+    /// migrations of one task between the same two CPUs with zero
+    /// execution progress (0 disables).
+    pub watchdog_pingpong: u32,
 }
 
 impl Default for SimConfig {
@@ -80,6 +96,9 @@ impl Default for SimConfig {
             starvation_limit: Dur::secs(10),
             faults: FaultPlan::default(),
             event_queue: None,
+            budget: RunBudget::default(),
+            watchdog_stall_events: 100_000,
+            watchdog_pingpong: 10_000,
         }
     }
 }
@@ -124,6 +143,14 @@ mod tests {
         assert_eq!(c.check, CheckMode::Off);
         assert!(!c.faults.active());
         assert!(c.starvation_limit >= Dur::secs(1));
+    }
+
+    #[test]
+    fn budget_inert_but_watchdog_armed_by_default() {
+        let c = SimConfig::default();
+        assert!(!c.budget.active());
+        assert!(c.watchdog_stall_events > 10_000);
+        assert!(c.watchdog_pingpong > 0);
     }
 
     #[test]

@@ -13,6 +13,30 @@ use sched_api::Tid;
 use simcore::Time;
 use topology::CpuId;
 
+/// Which [`crate::RunBudget`] ceiling a run exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// `max_events`: total events processed.
+    Events,
+    /// `max_sim_time`: simulated time reached (nanoseconds in the report).
+    SimTime,
+    /// `max_queue_depth`: live entries in the event queue.
+    QueueDepth,
+    /// `max_live_tasks`: simultaneously live tasks.
+    LiveTasks,
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Events => "events",
+            BudgetKind::SimTime => "simulated time (ns)",
+            BudgetKind::QueueDepth => "event-queue depth",
+            BudgetKind::LiveTasks => "live tasks",
+        })
+    }
+}
+
 /// A fatal inconsistency detected by the simulated kernel or by the
 /// SchedSan invariant checker ([`crate::check`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +98,53 @@ pub enum SimError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A [`crate::RunBudget`] ceiling was exceeded (SchedGuard). The run is
+    /// aborted but its state stays readable for partial-result salvage.
+    BudgetExceeded {
+        /// When the limit tripped.
+        at: Time,
+        /// Which ceiling tripped.
+        kind: BudgetKind,
+        /// The configured limit.
+        limit: u64,
+        /// The observed value that exceeded it.
+        used: u64,
+    },
+    /// The no-progress watchdog detected a livelock (SchedGuard):
+    /// simulated time stalled across many consecutive events, a pick loop
+    /// that never installs a segment, or a task ping-ponging between two
+    /// CPUs without executing.
+    Livelock {
+        /// When the watchdog tripped.
+        at: Time,
+        /// What kind of no-progress pattern was detected.
+        detail: String,
+        /// The most recent events of the stalled chain, oldest first
+        /// (empty for detectors that trip inside a single event).
+        window: Vec<String>,
+    },
+    /// The run was cancelled via a [`crate::CancelToken`] (explicitly or
+    /// by a wall-clock deadline). Unlike budget and watchdog aborts, the
+    /// abort point is *not* deterministic across replays.
+    Cancelled {
+        /// Simulated time at the cancellation check that observed it.
+        at: Time,
+    },
+}
+
+impl SimError {
+    /// `true` for supervision aborts (budget, watchdog, cancellation):
+    /// the kernel state is *consistent* — the run was stopped by policy,
+    /// not corrupted — so callers should salvage partial results rather
+    /// than write a crash bundle.
+    pub fn is_supervision(&self) -> bool {
+        matches!(
+            self,
+            SimError::BudgetExceeded { .. }
+                | SimError::Livelock { .. }
+                | SimError::Cancelled { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -109,6 +180,27 @@ impl std::fmt::Display for SimError {
             SimError::Invariant { at, detail } => {
                 write!(f, "[{at}] invariant violated: {detail}")
             }
+            SimError::BudgetExceeded {
+                at,
+                kind,
+                limit,
+                used,
+            } => {
+                write!(
+                    f,
+                    "[{at}] run budget exceeded: {kind} used {used} > limit {limit}"
+                )
+            }
+            SimError::Livelock { at, detail, window } => {
+                write!(f, "[{at}] livelock: {detail}")?;
+                if !window.is_empty() {
+                    write!(f, " (last {} events of the stalled chain)", window.len())?;
+                }
+                Ok(())
+            }
+            SimError::Cancelled { at } => {
+                write!(f, "[{at}] run cancelled (timeout or explicit cancellation)")
+            }
         }
     }
 }
@@ -138,5 +230,27 @@ mod tests {
             detail: "task T1 queued twice".into(),
         };
         assert!(e.to_string().contains("task T1 queued twice"));
+    }
+
+    #[test]
+    fn supervision_classification() {
+        let budget = SimError::BudgetExceeded {
+            at: Time::ZERO,
+            kind: BudgetKind::Events,
+            limit: 10,
+            used: 11,
+        };
+        let livelock = SimError::Livelock {
+            at: Time::ZERO,
+            detail: "stalled".into(),
+            window: vec!["[0s] resched cpu0".into()],
+        };
+        let cancelled = SimError::Cancelled { at: Time::ZERO };
+        assert!(budget.is_supervision());
+        assert!(livelock.is_supervision());
+        assert!(cancelled.is_supervision());
+        assert!(!SimError::EventQueueCorrupt { at: Time::ZERO }.is_supervision());
+        assert!(budget.to_string().contains("used 11 > limit 10"));
+        assert!(livelock.to_string().contains("last 1 events"));
     }
 }

@@ -36,8 +36,9 @@ use crate::behavior::{
     Action, BarrierId, Behavior, Ctx, MutexId, PoolId, QueueId, SemId, ThreadSpec,
 };
 use crate::config::{CheckMode, SimConfig};
-use crate::error::SimError;
+use crate::error::{BudgetKind, SimError};
 use crate::fault::FaultOp;
+use crate::guard::{CancelToken, RunBudget, Watch, WatchRec};
 use crate::stats::{AppStats, Counters, CpuStats, DecisionHash};
 use crate::sync::{BlockedOn, OpOutcome, SyncTable};
 use crate::ticks::TickLane;
@@ -251,6 +252,16 @@ pub struct Kernel {
     /// Scratch buffers for the invariant checker (reused every event).
     pub(crate) check_tids: Vec<Tid>,
     pub(crate) check_seen: Vec<u8>,
+    /// SchedGuard budget, copied out of the config. `budget_on` caches
+    /// `budget.active()` so an absent budget costs one branch per event.
+    budget: RunBudget,
+    budget_on: bool,
+    /// SchedGuard no-progress watchdog state.
+    watch: Watch,
+    /// Cooperative cancellation, polled every few thousand events.
+    cancel: Option<CancelToken>,
+    /// Tasks spawned and not yet exited (for the live-task budget).
+    live_tasks: usize,
 }
 
 impl Kernel {
@@ -267,6 +278,9 @@ impl Kernel {
             Some(b) => EventQueue::with_backend(b),
             None => EventQueue::new(),
         };
+        let budget = cfg.budget.clone();
+        let budget_on = budget.active();
+        let watch = Watch::new(cfg.watchdog_stall_events, cfg.watchdog_pingpong);
         Kernel {
             topo,
             cfg,
@@ -295,6 +309,11 @@ impl Kernel {
             fault_rng,
             check_tids: Vec::new(),
             check_seen: Vec::new(),
+            budget,
+            budget_on,
+            watch,
+            cancel: None,
+            live_tasks: 0,
         }
     }
 
@@ -467,6 +486,36 @@ impl Kernel {
         sink
     }
 
+    /// Install (or replace) the SchedGuard resource budget. May be called
+    /// after construction — e.g. by a driver that built the kernel through
+    /// a generic path — and even mid-run to tighten limits.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget_on = budget.active();
+        self.cfg.budget = budget.clone();
+        self.budget = budget;
+    }
+
+    /// Reconfigure the no-progress watchdog (`stall_events` consecutive
+    /// events at one instant; `pingpong` no-progress migrations between one
+    /// CPU pair). 0 disables the respective detector.
+    pub fn set_watchdog(&mut self, stall_events: u32, pingpong: u32) {
+        self.cfg.watchdog_stall_events = stall_events;
+        self.cfg.watchdog_pingpong = pingpong;
+        self.watch = Watch::new(stall_events, pingpong);
+    }
+
+    /// Attach a cooperative cancellation token, polled at event-batch
+    /// boundaries. When it reports cancelled, the run aborts with
+    /// [`SimError::Cancelled`]; all observed state stays readable.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Number of currently live (spawned and not yet exited) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.live_tasks
+    }
+
     /// Distribution of runnable→running dispatch delays (all dispatches).
     pub fn run_delay(&self) -> &Histogram {
         &self.run_delay
@@ -573,8 +622,21 @@ impl Kernel {
         debug_assert!(at >= self.now);
         self.now = at;
         self.counters.events += 1;
+        self.guard_step(at)?;
+        // While a same-time event chain is in flight, keep a compact window
+        // of what it is doing — the diagnosable payload of a livelock
+        // report. Off the stalled path this is a dead branch.
+        let recording = self.watch.stall_limit > 0 && self.watch.recording();
         match next {
             Pending::Tick(cpu) => {
+                if recording {
+                    self.watch.record(WatchRec {
+                        at,
+                        code: 0,
+                        a: cpu.0,
+                        b: 0,
+                    });
+                }
                 self.ticks.disarm(cpu.index());
                 self.on_tick(cpu);
             }
@@ -582,6 +644,10 @@ impl Kernel {
                 let Some((_, ev)) = self.events.pop() else {
                     return Err(SimError::EventQueueCorrupt { at: self.now });
                 };
+                if recording {
+                    let rec = Self::describe_event(at, &ev);
+                    self.watch.record(rec);
+                }
                 self.handle(ev)?;
             }
         }
@@ -589,6 +655,84 @@ impl Kernel {
             self.run_checks()?;
         }
         Ok(())
+    }
+
+    /// SchedGuard per-event enforcement: budget ceilings, the stall
+    /// watchdog, and the (amortized) cancellation poll. Deliberately does
+    /// not touch any state scheduling decisions depend on, so supervised
+    /// runs that complete produce bit-identical digests to unsupervised
+    /// ones.
+    #[inline]
+    fn guard_step(&mut self, at: Time) -> Result<(), SimError> {
+        if self.budget_on {
+            if let Some(max) = self.budget.max_events {
+                if self.counters.events > max {
+                    return Err(SimError::BudgetExceeded {
+                        at,
+                        kind: BudgetKind::Events,
+                        limit: max,
+                        used: self.counters.events,
+                    });
+                }
+            }
+            if let Some(max) = self.budget.max_sim_time {
+                if at > Time::ZERO + max {
+                    return Err(SimError::BudgetExceeded {
+                        at,
+                        kind: BudgetKind::SimTime,
+                        limit: max.as_nanos(),
+                        used: at.saturating_since(Time::ZERO).as_nanos(),
+                    });
+                }
+            }
+            if let Some(max) = self.budget.max_queue_depth {
+                let depth = self.events.len();
+                if depth > max {
+                    return Err(SimError::BudgetExceeded {
+                        at,
+                        kind: BudgetKind::QueueDepth,
+                        limit: max as u64,
+                        used: depth as u64,
+                    });
+                }
+            }
+        }
+        if self.watch.stall_limit > 0 && self.watch.note_event(at) {
+            let stalled = self.watch.stall;
+            return Err(self.livelock(format!(
+                "simulated time stalled at {at} for {stalled} consecutive events"
+            )));
+        }
+        if let Some(token) = &self.cancel {
+            // Amortize the wall-clock read: poll every 4096 events.
+            if self.counters.events & 0xFFF == 0 && token.cancelled() {
+                return Err(SimError::Cancelled { at });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a [`SimError::Livelock`] carrying the recent-event window.
+    fn livelock(&self, detail: String) -> SimError {
+        SimError::Livelock {
+            at: self.now,
+            detail,
+            window: self.watch.window(),
+        }
+    }
+
+    /// Compact descriptor of a queue event for the watchdog window.
+    fn describe_event(at: Time, ev: &Event) -> WatchRec {
+        let (code, a, b) = match ev {
+            Event::RunDone { cpu, gen } => (1, cpu.0, *gen as u32),
+            Event::TimerWake { tid } => (2, tid.0, 0),
+            Event::SpinTimeout { tid, barrier, .. } => (3, tid.0, barrier.0),
+            Event::Resched(cpu) => (4, cpu.0, 0),
+            Event::Continue(tid) => (5, tid.0, 0),
+            Event::Control(_) => (6, 0, 0),
+            Event::Fault(_) => (7, 0, 0),
+        };
+        WatchRec { at, code, a, b }
     }
 
     /// Arm `cpu`'s next scheduler tick at `at`, reserving its place in the
@@ -872,6 +1016,17 @@ impl Kernel {
         }
         a.spawned += 1;
         self.counters.spawns += 1;
+        self.live_tasks += 1;
+        if let Some(max) = self.budget.max_live_tasks {
+            if self.live_tasks > max {
+                return Err(SimError::BudgetExceeded {
+                    at: self.now,
+                    kind: BudgetKind::LiveTasks,
+                    limit: max as u64,
+                    used: self.live_tasks as u64,
+                });
+            }
+        }
 
         self.sched.task_fork(&self.tasks, tid, parent, self.now);
         self.place_and_enqueue(tid, parent, true)?;
@@ -1160,6 +1315,7 @@ impl Kernel {
         rt.behavior = None;
         let app = rt.app;
         let detached = rt.detached;
+        self.live_tasks = self.live_tasks.saturating_sub(1);
         if !detached {
             let a = &mut self.apps[app.0 as usize];
             a.live -= 1;
@@ -1179,7 +1335,21 @@ impl Kernel {
         if !self.cpus[cpu.index()].online {
             return Ok(()); // hotplugged out; nothing may run here
         }
+        let mut spins = 0u32;
         loop {
+            // The event-level stall watchdog cannot see a pick loop that
+            // never installs a segment (e.g. a behavior yielding forever:
+            // no events are processed, the loop just re-picks the same
+            // task at the same instant) — bound the loop itself.
+            if self.watch.stall_limit > 0 {
+                spins += 1;
+                if spins > self.watch.stall_limit {
+                    return Err(self.livelock(format!(
+                        "pick loop on {cpu} cycled {spins} times at {} without installing a run/spin segment",
+                        self.now
+                    )));
+                }
+            }
             debug_assert!(self.cpus[cpu.index()].current.is_none());
             let mut picked = self.sched.pick_next_task(&mut self.tasks, cpu, self.now);
             if picked.is_none() {
@@ -1256,6 +1426,15 @@ impl Kernel {
                 self.cpus[cpu.index()].stats.overhead += cost;
             }
             if let Some(from) = migrated_from {
+                if self.watch.pingpong_limit > 0 {
+                    let exec = self.tasks.get(tid).sum_exec;
+                    if self.watch.note_migration(tid.0, from.0, cpu.0, exec) {
+                        let n = self.watch.pingpong_limit;
+                        return Err(self.livelock(format!(
+                            "{tid} ping-ponged between {from} and {cpu} {n} times with no execution progress"
+                        )));
+                    }
+                }
                 let dist = self.topo.distance(from, cpu) as u64;
                 let cost = self.cfg.migration_cost_per_distance.saturating_mul(dist);
                 self.cpus[cpu.index()].pending_overhead += cost;

@@ -18,6 +18,7 @@ pub mod check;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod guard;
 pub mod kernel;
 pub mod simple;
 pub mod stats;
@@ -30,8 +31,9 @@ pub use behavior::{
     QueueId, Script, SemId, ThreadSpec,
 };
 pub use config::{CheckMode, SimConfig};
-pub use error::SimError;
+pub use error::{BudgetKind, SimError};
 pub use fault::FaultPlan;
+pub use guard::{CancelToken, RunBudget};
 pub use kernel::{AppId, AppSpec, Kernel};
 pub use simple::SimpleRR;
 pub use stats::{AppStats, Counters, CpuStats};

@@ -1,0 +1,235 @@
+//! SchedGuard integration tests: budgets, the no-progress watchdog, and
+//! cooperative cancellation, exercised against the reference round-robin
+//! class so they are independent of CFS/ULE.
+
+use kernel::{
+    cpu_hog, from_fn, Action, AppSpec, BudgetKind, CancelToken, Kernel, RunBudget, SimConfig,
+    SimError, SimpleRR, ThreadSpec,
+};
+use simcore::{Dur, Time};
+use topology::Topology;
+
+fn mk_kernel(topo: Topology, cfg: SimConfig) -> Kernel {
+    let sched = Box::new(SimpleRR::new(&topo));
+    Kernel::new(topo, cfg, sched)
+}
+
+/// A thread that sleeps for zero time forever: every wakeup immediately
+/// re-blocks at the same instant, producing an infinite same-time event
+/// chain (TimerWake → Resched → dispatch → Sleep(0) → ...). Simulated
+/// time never advances — the classic livelock the stall watchdog exists
+/// for.
+fn zero_sleep_looper() -> ThreadSpec {
+    ThreadSpec::new("zero-sleeper", from_fn(|_| Action::Sleep(Dur::ZERO)))
+}
+
+#[test]
+fn zero_sleep_loop_trips_stall_watchdog() {
+    let mut k = mk_kernel(Topology::flat(2), SimConfig::frictionless(1));
+    k.set_watchdog(2_000, 0);
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new("livelock", vec![zero_sleep_looper()]),
+    );
+    let err = k
+        .try_run_until(Time::ZERO + Dur::secs(1))
+        .expect_err("watchdog must abort the stalled chain");
+    match &err {
+        SimError::Livelock { detail, window, .. } => {
+            assert!(detail.contains("stalled"), "{detail}");
+            assert!(!window.is_empty(), "livelock report must carry the window");
+            // The stalled chain is made of timer wakes and reschedules.
+            assert!(
+                window
+                    .iter()
+                    .any(|l| l.contains("timer-wake") || l.contains("resched")),
+                "{window:?}"
+            );
+        }
+        other => panic!("expected Livelock, got {other}"),
+    }
+    assert!(err.is_supervision());
+    // Salvage: the aborted kernel's state is still readable.
+    assert!(k.counters().events >= 2_000);
+    assert_eq!(k.now(), Time::ZERO, "time never advanced");
+}
+
+#[test]
+fn yield_forever_trips_pick_loop_guard() {
+    // A behavior that yields forever wedges *inside* the pick loop: no
+    // events are processed, so the event-level stall watchdog can never
+    // fire — this is the guard on the loop itself.
+    let mut k = mk_kernel(Topology::single_core(), SimConfig::frictionless(1));
+    k.set_watchdog(5_000, 0);
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new(
+            "spinner",
+            vec![ThreadSpec::new("yielder", from_fn(|_| Action::Yield))],
+        ),
+    );
+    let err = k
+        .try_run_until(Time::ZERO + Dur::secs(1))
+        .expect_err("pick-loop guard must abort");
+    match err {
+        SimError::Livelock { detail, .. } => {
+            assert!(detail.contains("pick loop"), "{detail}")
+        }
+        other => panic!("expected Livelock, got {other}"),
+    }
+}
+
+#[test]
+fn budget_max_events_aborts_and_salvage_is_deterministic() {
+    let run = || {
+        let mut cfg = SimConfig::frictionless(7);
+        cfg.budget = RunBudget {
+            max_events: Some(500),
+            ..Default::default()
+        };
+        let mut k = mk_kernel(Topology::flat(2), cfg);
+        k.queue_app(
+            Time::ZERO,
+            AppSpec::new(
+                "hogs",
+                vec![
+                    ThreadSpec::new("a", cpu_hog(Dur::secs(1), Dur::micros(100))),
+                    ThreadSpec::new("b", cpu_hog(Dur::secs(1), Dur::micros(100))),
+                ],
+            ),
+        );
+        let err = k
+            .try_run_until_apps_done(Time::ZERO + Dur::secs(10))
+            .expect_err("budget must trip");
+        (err, k.counters().events, k.now(), k.decision_digest())
+    };
+    let (err1, events1, now1, digest1) = run();
+    let (err2, events2, now2, digest2) = run();
+    match err1 {
+        SimError::BudgetExceeded {
+            kind: BudgetKind::Events,
+            limit: 500,
+            ..
+        } => {}
+        ref other => panic!("expected BudgetExceeded(events), got {other}"),
+    }
+    // The abort point and everything salvaged at it replay bit-identically.
+    assert_eq!(err1, err2);
+    assert_eq!(events1, events2);
+    assert_eq!(now1, now2);
+    assert_eq!(digest1, digest2);
+    assert_eq!(events1, 501, "trips on the first event past the limit");
+}
+
+#[test]
+fn budget_max_sim_time_aborts() {
+    let mut cfg = SimConfig::frictionless(7);
+    cfg.budget.max_sim_time = Some(Dur::millis(10));
+    let mut k = mk_kernel(Topology::single_core(), cfg);
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new(
+            "hog",
+            vec![ThreadSpec::new("h", cpu_hog(Dur::secs(1), Dur::millis(1)))],
+        ),
+    );
+    let err = k
+        .try_run_until_apps_done(Time::ZERO + Dur::secs(10))
+        .expect_err("time budget must trip");
+    assert!(
+        matches!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::SimTime,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert!(k.now() >= Time::ZERO + Dur::millis(10));
+}
+
+#[test]
+fn budget_max_live_tasks_stops_a_fork_storm() {
+    let mut cfg = SimConfig::frictionless(7);
+    cfg.budget.max_live_tasks = Some(8);
+    let mut k = mk_kernel(Topology::flat(2), cfg);
+    // A forker that spawns a long-lived child at every step.
+    let forker = from_fn(|_| {
+        Action::Spawn(ThreadSpec::new("child", cpu_hog(Dur::secs(10), Dur::millis(1))).detached())
+    });
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new("storm", vec![ThreadSpec::new("forker", forker)]),
+    );
+    let err = k
+        .try_run_until(Time::ZERO + Dur::secs(1))
+        .expect_err("live-task budget must trip");
+    assert!(
+        matches!(
+            err,
+            SimError::BudgetExceeded {
+                kind: BudgetKind::LiveTasks,
+                limit: 8,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert_eq!(k.live_tasks(), 9, "aborted on the task past the cap");
+}
+
+#[test]
+fn cancel_token_aborts_mid_run() {
+    let mut k = mk_kernel(Topology::single_core(), SimConfig::frictionless(1));
+    let token = CancelToken::new();
+    token.cancel();
+    k.set_cancel_token(token);
+    // Enough events (>4096) to guarantee the amortized poll runs.
+    k.queue_app(
+        Time::ZERO,
+        AppSpec::new(
+            "hog",
+            vec![ThreadSpec::new("h", cpu_hog(Dur::secs(1), Dur::micros(50)))],
+        ),
+    );
+    let err = k
+        .try_run_until_apps_done(Time::ZERO + Dur::secs(10))
+        .expect_err("cancelled token must abort");
+    assert!(matches!(err, SimError::Cancelled { .. }), "{err}");
+    assert!(err.is_supervision());
+}
+
+#[test]
+fn generous_supervision_leaves_digest_untouched() {
+    let run = |budget: RunBudget| {
+        let mut cfg = SimConfig::with_seed(3);
+        cfg.budget = budget;
+        let mut k = mk_kernel(Topology::flat(4), cfg);
+        k.queue_app(
+            Time::ZERO,
+            AppSpec::new(
+                "mix",
+                vec![
+                    ThreadSpec::new("a", cpu_hog(Dur::millis(80), Dur::millis(3))),
+                    ThreadSpec::new("b", cpu_hog(Dur::millis(60), Dur::millis(2))),
+                    ThreadSpec::new("c", cpu_hog(Dur::millis(40), Dur::millis(1))),
+                ],
+            ),
+        );
+        assert!(k.run_until_apps_done(Time::ZERO + Dur::secs(10)));
+        (k.decision_digest(), k.counters().events)
+    };
+    let (unsupervised, ev1) = run(RunBudget::default());
+    let (supervised, ev2) = run(RunBudget {
+        max_events: Some(u64::MAX / 2),
+        max_sim_time: Some(Dur::secs(3600)),
+        max_queue_depth: Some(1 << 30),
+        max_live_tasks: Some(1 << 20),
+    });
+    assert_eq!(
+        unsupervised, supervised,
+        "an active-but-untripped budget must not perturb decisions"
+    );
+    assert_eq!(ev1, ev2);
+}

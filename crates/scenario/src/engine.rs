@@ -8,7 +8,7 @@
 //! (SchedSan strict mode) comes back as an [`EngineCrash`] carrying the
 //! kernel's crash report instead of aborting the process.
 
-use kernel::{CheckMode, Kernel, SimError};
+use kernel::{CancelToken, CheckMode, Kernel, RunBudget, SimError};
 use metrics::{LatencySummary, PerCoreSeries};
 use serde::Serialize;
 use simcore::Time;
@@ -28,6 +28,13 @@ pub struct EngineOpts {
     pub check: CheckMode,
     /// Flight-recorder ring capacity; 0 keeps the kernel default.
     pub trace_capacity: usize,
+    /// SchedGuard budget imposed by the driver, combined (tighter limit
+    /// wins) with the scenario's own `[budget]` table.
+    pub budget: RunBudget,
+    /// Cooperative cancellation (wall-clock timeouts). A cancelled run
+    /// salvages a partial result like a budget-killed one, but its abort
+    /// point is not deterministic.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EngineOpts {
@@ -37,6 +44,8 @@ impl Default for EngineOpts {
             seed: 42,
             check: CheckMode::Off,
             trace_capacity: 0,
+            budget: RunBudget::default(),
+            cancel: None,
         }
     }
 }
@@ -74,6 +83,17 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Which SchedGuard mechanism aborted a partial run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AbortKind {
+    /// A [`RunBudget`] ceiling tripped (deterministic abort point).
+    Budget,
+    /// The no-progress watchdog tripped (deterministic abort point).
+    Livelock,
+    /// A [`CancelToken`] fired (wall-clock; nondeterministic abort point).
+    Cancelled,
+}
 
 /// Per-app outcome in a [`ScenarioRun`].
 #[derive(Debug, Clone, Serialize)]
@@ -125,6 +145,14 @@ pub struct ScenarioRun {
     pub final_spread: u32,
     /// When the spread first dropped within 1, seconds.
     pub convergence_s: Option<f64>,
+    /// `true` if SchedGuard aborted the run early: every field above is a
+    /// salvaged snapshot at the abort point, and `digest` is the
+    /// digest-so-far, not a completed-run fingerprint.
+    pub partial: bool,
+    /// Which supervision mechanism aborted the run (`None` if complete).
+    pub abort_kind: Option<AbortKind>,
+    /// The rendered abort error (`None` if complete).
+    pub abort: Option<String>,
 }
 
 /// A finished run plus the kernel it ran on (for trace export and crash
@@ -143,6 +171,29 @@ pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOu
     let mut k = make_kernel(&topo, sched, opts.seed, opts.check, sc.faults.to_plan());
     if opts.trace_capacity > 0 {
         k.set_trace_capacity(opts.trace_capacity);
+    }
+
+    // SchedGuard: the scenario's own [budget] combined with the driver's,
+    // tighter limit winning; watchdog overrides; cancellation token.
+    let budget = sc.budget.to_run_budget().tighten(&opts.budget);
+    if budget.active() {
+        k.set_budget(budget);
+    }
+    if sc.budget.stall_events.is_some() || sc.budget.pingpong.is_some() {
+        let defaults = kernel::SimConfig::default();
+        k.set_watchdog(
+            sc.budget
+                .stall_events
+                .map(|n| n as u32)
+                .unwrap_or(defaults.watchdog_stall_events),
+            sc.budget
+                .pingpong
+                .map(|n| n as u32)
+                .unwrap_or(defaults.watchdog_pingpong),
+        );
+    }
+    if let Some(token) = &opts.cancel {
+        k.set_cancel_token(token.clone());
     }
 
     // Queue phases in file order; build immediately before queueing so
@@ -188,10 +239,20 @@ pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOu
             report: k.crash_report(&e),
         })
     };
+    let mut abort: Option<(AbortKind, String)> = None;
     while k.now() < limit && !(sc.run.until_apps_done && k.all_apps_done()) {
         let next = k.now() + step;
         if let Err(e) = k.try_run_until(next) {
-            return Err(crash(&k, e));
+            // Supervision aborts leave a *consistent* kernel: salvage the
+            // partial result. Anything else is a real crash.
+            let kind = match &e {
+                SimError::BudgetExceeded { .. } => AbortKind::Budget,
+                SimError::Livelock { .. } => AbortKind::Livelock,
+                SimError::Cancelled { .. } => AbortKind::Cancelled,
+                _ => return Err(crash(&k, e)),
+            };
+            abort = Some((kind, e.to_string()));
+            break;
         }
         matrix.push(
             k.now(),
@@ -237,6 +298,9 @@ pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOu
         apps: app_results,
         final_spread: matrix.final_spread(),
         convergence_s: matrix.convergence_time(1),
+        partial: abort.is_some(),
+        abort_kind: abort.as_ref().map(|(k, _)| *k),
+        abort: abort.map(|(_, msg)| msg),
     };
     Ok(RunOutput { run, kernel: k })
 }
@@ -287,13 +351,24 @@ fn relation_holds(rel: &RelationBound, left: f64, right: f64) -> bool {
 /// Evaluate every assertion of `sc` against its finished runs. Returns
 /// one human-readable line per violated assertion; empty means pass.
 /// Relations are skipped when one side's scheduler was not run.
+///
+/// Partial (SchedGuard-aborted) runs are excluded: their counters,
+/// metrics and digest describe an interrupted run, so judging end-of-run
+/// assertions against them would produce spurious failures. Drivers
+/// report partial runs separately.
 pub fn failures(sc: &Scenario, runs: &[ScenarioRun]) -> Vec<String> {
+    let complete: Vec<&ScenarioRun> = runs.iter().filter(|r| !r.partial).collect();
     let mut out = Vec::new();
-    let by_sched = |s: Sched| runs.iter().find(|r| r.sched == s);
-    let covered = |sel: SchedSel| runs.iter().filter(move |r| sel.covers(r.sched));
+    let by_sched = |s: Sched| complete.iter().find(|r| r.sched == s).copied();
+    let covered = |sel: SchedSel| {
+        complete
+            .iter()
+            .filter(move |r| sel.covers(r.sched))
+            .copied()
+    };
 
     if let Some(expected) = sc.asserts.all_apps_done {
-        for r in runs {
+        for r in &complete {
             if r.all_apps_done != expected {
                 out.push(format!(
                     "[{}] all_apps_done = {} at t={:.3}s, expected {}",

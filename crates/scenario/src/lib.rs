@@ -32,9 +32,9 @@ use topology::Topology;
 use ule::Ule;
 
 pub use engine::{
-    failures, run_sched, EngineCrash, EngineError, EngineOpts, RunOutput, ScenarioRun,
+    failures, run_sched, AbortKind, EngineCrash, EngineError, EngineOpts, RunOutput, ScenarioRun,
 };
-pub use spec::{Scenario, SpecError};
+pub use spec::{BudgetSpec, Scenario, SpecError};
 
 /// Which scheduler drives a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]

@@ -1337,6 +1337,92 @@ impl AssertSpec {
     }
 }
 
+/// SchedGuard supervision for a scenario run (the `[budget]` table).
+///
+/// Limits are absolute (they do **not** scale with `--scale`): a budget is
+/// a guard rail on resource use, not part of the workload. A run that
+/// exceeds one aborts with a salvaged partial result instead of wedging
+/// the sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BudgetSpec {
+    /// Maximum events processed.
+    pub max_events: Option<u64>,
+    /// Maximum simulated time, in seconds.
+    pub max_sim_time_s: Option<f64>,
+    /// Maximum live event-queue depth.
+    pub max_queue_depth: Option<u64>,
+    /// Maximum simultaneously live tasks.
+    pub max_live_tasks: Option<u64>,
+    /// Override the no-progress watchdog's stall threshold (consecutive
+    /// events at one simulated instant).
+    pub stall_events: Option<u64>,
+    /// Override the ping-pong watchdog (no-progress migrations between
+    /// one CPU pair).
+    pub pingpong: Option<u64>,
+}
+
+impl BudgetSpec {
+    fn from_value(v: &Value, path: &str) -> Result<BudgetSpec, SpecError> {
+        check_keys(
+            v,
+            path,
+            &[
+                "max_events",
+                "max_sim_time_s",
+                "max_queue_depth",
+                "max_live_tasks",
+                "stall_events",
+                "pingpong",
+            ],
+        )?;
+        Ok(BudgetSpec {
+            max_events: get_u64(v, path, "max_events")?,
+            max_sim_time_s: get_f64(v, path, "max_sim_time_s")?,
+            max_queue_depth: get_u64(v, path, "max_queue_depth")?,
+            max_live_tasks: get_u64(v, path, "max_live_tasks")?,
+            stall_events: get_u64(v, path, "stall_events")?,
+            pingpong: get_u64(v, path, "pingpong")?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut f = Vec::new();
+        if let Some(n) = self.max_events {
+            f.push(("max_events".to_string(), Value::UInt(n)));
+        }
+        if let Some(s) = self.max_sim_time_s {
+            f.push(("max_sim_time_s".to_string(), Value::Float(s)));
+        }
+        if let Some(n) = self.max_queue_depth {
+            f.push(("max_queue_depth".to_string(), Value::UInt(n)));
+        }
+        if let Some(n) = self.max_live_tasks {
+            f.push(("max_live_tasks".to_string(), Value::UInt(n)));
+        }
+        if let Some(n) = self.stall_events {
+            f.push(("stall_events".to_string(), Value::UInt(n)));
+        }
+        if let Some(n) = self.pingpong {
+            f.push(("pingpong".to_string(), Value::UInt(n)));
+        }
+        Value::Object(f)
+    }
+
+    fn is_default(&self) -> bool {
+        *self == BudgetSpec::default()
+    }
+
+    /// The kernel-enforced ceilings of this spec.
+    pub fn to_run_budget(&self) -> kernel::RunBudget {
+        kernel::RunBudget {
+            max_events: self.max_events,
+            max_sim_time: self.max_sim_time_s.map(Dur::secs_f64),
+            max_queue_depth: self.max_queue_depth.map(|n| n as usize),
+            max_live_tasks: self.max_live_tasks.map(|n| n as usize),
+        }
+    }
+}
+
 /// A complete declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -1355,6 +1441,8 @@ pub struct Scenario {
     pub events: Vec<EventSpec>,
     /// Fault-injection plan.
     pub faults: FaultSpec,
+    /// SchedGuard supervision (budget ceilings, watchdog overrides).
+    pub budget: BudgetSpec,
     /// The run loop.
     pub run: RunSpec,
     /// End-of-run assertions.
@@ -1387,6 +1475,7 @@ impl Scenario {
                 "phase",
                 "event",
                 "faults",
+                "budget",
                 "run",
                 "assert",
             ],
@@ -1454,6 +1543,10 @@ impl Scenario {
                 Some(fv) => FaultSpec::from_value(fv, "faults")?,
                 None => FaultSpec::default(),
             },
+            budget: match v.get("budget") {
+                Some(b) => BudgetSpec::from_value(b, "budget")?,
+                None => BudgetSpec::default(),
+            },
             run,
             asserts: match v.get("assert") {
                 Some(a) => AssertSpec::from_value(a, "assert")?,
@@ -1496,6 +1589,9 @@ impl Scenario {
         }
         if !self.faults.is_default() {
             f.push(("faults".to_string(), self.faults.to_value()));
+        }
+        if !self.budget.is_default() {
+            f.push(("budget".to_string(), self.budget.to_value()));
         }
         f.push(("run".to_string(), self.run.to_value()));
         if !self.asserts.is_default() {

@@ -107,6 +107,14 @@ kind = "unpin"
 phase = "spin"
 at = { base_s = 1.0, min_s = 0.2 }
 
+[budget]
+max_events = 5000000
+max_sim_time_s = 120.0
+max_queue_depth = 100000
+max_live_tasks = 4096
+stall_events = 50000
+pingpong = 5000
+
 [run]
 horizon = { base_s = 30.0, plus_s = 5.0 }
 horizon_ule = { base_s = 60.0, plus_s = 5.0 }
@@ -240,6 +248,37 @@ horizon = 1.0
 "#;
     let err = Scenario::from_toml(bad_event).expect_err("unknown event phase");
     assert!(err.to_string().contains("nope"), "{err}");
+}
+
+#[test]
+fn budget_killed_run_salvages_a_deterministic_partial_result() {
+    let src = r#"
+name = "budgeted"
+[topology]
+preset = "flat-4"
+[[phase]]
+kind = "cpu-hogs"
+count = { base = 6, min = 6 }
+work = { base_s = 0.5, scaled = false }
+[budget]
+max_events = 2000
+[run]
+horizon = { base_s = 5.0, scaled = false }
+"#;
+    let sc = Scenario::from_toml(src).unwrap();
+    let opts = EngineOpts::default();
+    let a = scenario::run_sched(&sc, Sched::Cfs, &opts).expect("salvaged, not crashed");
+    assert!(a.run.partial, "budget must have tripped");
+    assert_eq!(a.run.abort_kind, Some(scenario::AbortKind::Budget));
+    assert!(a.run.abort.as_deref().unwrap().contains("budget exceeded"));
+    assert!(!a.run.all_apps_done);
+    assert!(a.run.counters.events >= 2000);
+    // The abort point is deterministic, so the partial digest is too.
+    let b = scenario::run_sched(&sc, Sched::Cfs, &opts).expect("salvaged");
+    assert_eq!(a.run.digest, b.run.digest);
+    assert_eq!(a.run.counters.events, b.run.counters.events);
+    // Partial runs are excluded from assertion judgement.
+    assert!(scenario::failures(&sc, std::slice::from_ref(&a.run)).is_empty());
 }
 
 #[test]
