@@ -55,14 +55,10 @@ impl Entity {
     }
 
     /// vruntime delta for `delta` of real execution at this weight:
-    /// `delta × NICE_0_LOAD / weight`.
+    /// `delta × NICE_0_LOAD / weight` (the shared helper keeps the nice-0
+    /// fast path bit-identical to the exact division for all weights).
     pub fn calc_delta_fair(&self, delta: Dur) -> u64 {
-        // Nice-0 fast path: ×1024/1024 is exact, so skip the u128 divide
-        // that otherwise sits on every `update_curr`.
-        if self.weight == 1024 {
-            return delta.as_nanos();
-        }
-        (delta.as_nanos() as u128 * 1024 / self.weight.max(1) as u128) as u64
+        sched_api::weights::calc_delta_fair(delta.as_nanos(), self.weight)
     }
 }
 

@@ -18,12 +18,20 @@
 //! dumped as JSON. `bench` measures the simulator's own wall-clock
 //! throughput and writes `BENCH_sim.json`.
 //!
-//! `fuzz` runs randomized workload/fault/topology combinations under both
-//! schedulers with strict checking (see `experiments::fuzz`):
+//! `fuzz` runs randomized workload/fault/topology combinations under the
+//! selected schedulers with strict checking (see `experiments::fuzz`):
 //!
 //! ```text
-//! battle fuzz [--cases N] [--seed N] [--sched cfs|ule|both]
+//! battle fuzz [--cases N] [--seed N] [--sched NAME|both|all]
 //!             [--faults on|off] [--parts MASK] [--case-seed HEX]
+//! ```
+//!
+//! `tournament` runs every registered scheduler over a scenario corpus and
+//! prints a ranked scorecard (see `experiments::tournament`):
+//!
+//! ```text
+//! battle tournament <scenario.toml|dir>... [--scale S] [--seed N]
+//!                   [--threads N] [--json PATH]
 //! ```
 //!
 //! `trace` exports a figure scenario's scheduling trace as
@@ -125,10 +133,19 @@ fn parse_args() -> Result<Args, String> {
             "--sched" => {
                 let v = args.next().ok_or("missing value for --sched")?;
                 fz.scheds = match v.as_str() {
-                    "cfs" => vec![Sched::Cfs],
-                    "ule" => vec![Sched::Ule],
                     "both" => Sched::BOTH.to_vec(),
-                    other => return Err(format!("bad --sched: {other} (cfs|ule|both)")),
+                    "all" => Sched::ALL.to_vec(),
+                    one => match Sched::parse_flag(one) {
+                        Some(s) => vec![s],
+                        None => {
+                            let known: Vec<&str> =
+                                Sched::ALL.iter().map(|s| s.flag_name()).collect();
+                            return Err(format!(
+                                "bad --sched: {one} ({}|both|all)",
+                                known.join("|")
+                            ));
+                        }
+                    },
                 };
             }
             "--faults" => {
@@ -170,7 +187,10 @@ fn parse_args() -> Result<Args, String> {
             other if experiment == "trace" && !other.starts_with('-') && trace_fig.is_none() => {
                 trace_fig = Some(other.to_string());
             }
-            other if (experiment == "run" || experiment == "chaos") && !other.starts_with('-') => {
+            other
+                if (experiment == "run" || experiment == "chaos" || experiment == "tournament")
+                    && !other.starts_with('-') =>
+            {
                 paths.push(other.to_string());
             }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
@@ -195,14 +215,18 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|chaos|golden|all> \
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|chaos|tournament|golden|all> \
      [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
-     fuzz flags: [--cases N] [--sched cfs|ule|both] [--faults on|off] [--parts MASK] [--case-seed HEX] [--case-timeout SECS]\n\
-     trace usage: battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream] [--sched cfs|ule|both]\n\
+     schedulers:  cfs ule eevdf simple-rr scx-fifo scx-vtime (plus `both` = cfs+ule, `all`)\n\
+     fuzz flags: [--cases N] [--sched NAME|both|all] [--faults on|off] [--parts MASK] [--case-seed HEX] [--case-timeout SECS]\n\
+     trace usage: battle trace <fig1|fig5|fig6|fig7> [--out PATH] [--stream] [--sched NAME|both]\n\
                   exports a Chrome-trace/Perfetto JSON of the figure's scenario (default out: trace.json)\n\
-     run usage:   battle run <scenario.toml|dir>... [--sched cfs|ule|both] [--trace] [--json PATH] [--timeout SECS]\n\
+     run usage:   battle run <scenario.toml|dir>... [--sched NAME|both|all] [--trace] [--json PATH] [--timeout SECS]\n\
                   executes declarative scenario files (see scenarios/ and EXPERIMENTS.md);\n\
                   --timeout cancels overrunning kernels cooperatively and salvages partial results\n\
+     tournament:  battle tournament <scenario.toml|dir>... [--scale S] [--seed N] [--json PATH]\n\
+                  runs every registered scheduler over the corpus and prints a ranked scorecard\n\
+                  (throughput, p99 run-delay, max starvation wait, Jain fairness); deterministic across --threads\n\
      chaos usage: battle chaos <scenario.toml|dir>... [--plans N] [--scale S] [--seed N] [--json PATH]\n\
                   SchedGuard supervision campaign: control vs guarded vs budget-killed runs plus\n\
                   injected panic/livelock/runaway/cancel probes; every case classified, no job loss\n\
@@ -459,6 +483,21 @@ fn main() {
             &args.json,
             args.timeout,
         );
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.experiment == "tournament" {
+        if args.paths.is_empty() {
+            eprintln!(
+                "tournament needs at least one scenario file or directory\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+        ok = experiments::tournament::cli(&args.paths, &args.cfg, &args.json);
         std::io::stdout().flush().ok();
         if !ok {
             std::process::exit(1);

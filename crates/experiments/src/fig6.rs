@@ -52,7 +52,7 @@ pub fn run(sched: Sched, cfg: &RunCfg) -> Fig6Run {
     // CFS settles (to its imperfect steady state) within seconds.
     let total_horizon = match sched {
         Sched::Ule => Dur::secs_f64(560.0 * cfg.scale + 30.0),
-        Sched::Cfs => unpin_at.saturating_since(Time::ZERO) + Dur::secs(60),
+        _ => unpin_at.saturating_since(Time::ZERO) + Dur::secs(60),
     };
     let step = Dur::millis(100);
     let mut matrix = PerCoreSeries::new();

@@ -13,7 +13,6 @@
 //! Every failure also produces a crash bundle under `results/crash/` (see
 //! [`crate::crash`]).
 
-use cfs::Cfs;
 use kernel::{
     Action, AppSpec, CancelToken, CheckMode, FaultPlan, Kernel, Script, SimConfig, SimError,
     ThreadSpec,
@@ -22,7 +21,6 @@ use simcore::{Dur, SimRng, Time};
 use topology::Topology;
 
 use crate::{crash::Crash, runner, Sched};
-use ule::Ule;
 
 /// Workload part bits (the `--parts` mask).
 pub const PART_HOGS: u8 = 1 << 0;
@@ -295,14 +293,7 @@ fn run_case(
     if faults {
         cfg.faults = pick_faults(&mut base.fork(2), &topo);
     }
-    let class: Box<dyn sched_api::Scheduler> = match sched {
-        Sched::Cfs => Box::new(Cfs::new(&topo)),
-        Sched::Ule => Box::new(Ule::with_params(
-            &topo,
-            ule::params::UleParams::default(),
-            cs,
-        )),
-    };
+    let class = scenario::make_class(&topo, sched, cs);
     let mut k = Kernel::new(topo, cfg, class);
     if let Some(token) = cancel {
         k.set_cancel_token(token.clone());
@@ -353,8 +344,8 @@ fn shrink(cs: u64, sched: Sched, mut parts: u8, faults: bool, timeout_s: f64) ->
 
 fn sched_flag(scheds: &[Sched]) -> &'static str {
     match scheds {
-        [Sched::Cfs] => "cfs",
-        [Sched::Ule] => "ule",
+        [one] => one.flag_name(),
+        s if s == Sched::ALL => "all",
         _ => "both",
     }
 }

@@ -182,11 +182,8 @@ fn compute(entry: &Entry) -> EntryDigests {
                     seed: SEED,
                     ..EngineOpts::default()
                 };
-                for &sched in &[Sched::Cfs, Sched::Ule] {
-                    let label = match sched {
-                        Sched::Cfs => "cfs",
-                        Sched::Ule => "ule",
-                    };
+                for &sched in &[Sched::Cfs, Sched::Ule, Sched::Eevdf] {
+                    let label = sched.flag_name();
                     match scenario::run_sched(&sc, sched, &opts) {
                         Ok(r) => {
                             if r.run.partial {

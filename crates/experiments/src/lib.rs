@@ -46,6 +46,7 @@ pub mod scenarios;
 pub mod scope;
 pub mod table1;
 pub mod table2;
+pub mod tournament;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -245,11 +246,8 @@ pub fn perf_of(entry: &Entry, k: &Kernel, app: AppId, done: bool) -> PerfResult 
 }
 
 fn k_sched(k: &Kernel) -> Sched {
-    match k.sched_name() {
-        "cfs" => Sched::Cfs,
-        "ule" => Sched::Ule,
-        other => panic!("unknown scheduler {other}"),
-    }
+    Sched::parse_flag(k.sched_name())
+        .unwrap_or_else(|| panic!("unknown scheduler {}", k.sched_name()))
 }
 
 /// Percentage difference of ULE relative to CFS, the y-axis of Figures 5

@@ -19,7 +19,9 @@
 //!    [`crate::SimConfig::starvation_limit`] for a CPU.
 //! 6. **Scheduler self-audit** — class-specific invariants via
 //!    [`sched_api::Scheduler::audit`] (CFS vruntime monotonicity, ULE
-//!    priority-range validity, internal accounting).
+//!    priority-range validity, EEVDF lag conservation (Σ lag ≈ 0) and
+//!    deadline ordering, scx policy/queue slot agreement, internal
+//!    accounting).
 //!
 //! The checker allocates nothing in steady state: it reuses two scratch
 //! buffers owned by the kernel. When checking is off ([`crate::CheckMode::Off`],

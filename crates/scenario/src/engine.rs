@@ -217,6 +217,8 @@ pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOu
     let horizon = match sched {
         Sched::Cfs => sc.run.horizon_cfs.as_ref(),
         Sched::Ule => sc.run.horizon_ule.as_ref(),
+        // Schedulers beyond the paper's pair share the generic horizon.
+        _ => None,
     }
     .unwrap_or(&sc.run.horizon);
     let limit = Time::ZERO + horizon.eval(opts.scale);

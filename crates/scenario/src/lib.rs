@@ -27,7 +27,9 @@ pub mod toml;
 pub mod workload;
 
 use cfs::Cfs;
-use kernel::{CheckMode, FaultPlan, Kernel, SimConfig};
+use eevdf::Eevdf;
+use kernel::{CheckMode, FaultPlan, Kernel, SimConfig, SimpleRR};
+use sched_api::scx::{FifoPolicy, ScxSched, VtimePolicy};
 use topology::Topology;
 use ule::Ule;
 
@@ -37,24 +39,93 @@ pub use engine::{
 pub use spec::{BudgetSpec, Scenario, SpecError};
 
 /// Which scheduler drives a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Deserialize)]
 pub enum Sched {
     /// Linux CFS.
     Cfs,
     /// FreeBSD ULE (the paper's Linux port).
     Ule,
+    /// EEVDF (Linux 6.6's CFS successor).
+    Eevdf,
+    /// The kernel crate's round-robin reference class.
+    SimpleRr,
+    /// sched_ext-style example policy: global-arrival FIFO.
+    ScxFifo,
+    /// sched_ext-style example policy: weight-scaled virtual time.
+    ScxVtime,
 }
 
 impl Sched {
-    /// Both schedulers, CFS first.
+    /// The paper's two schedulers, CFS first. Figure reproductions and the
+    /// default scenario sweep compare exactly these.
     pub const BOTH: [Sched; 2] = [Sched::Cfs, Sched::Ule];
+
+    /// Every registered scheduler, in stable report order. Tournaments,
+    /// differential fuzzing and the proptest suite iterate this.
+    pub const ALL: [Sched; 6] = [
+        Sched::Cfs,
+        Sched::Ule,
+        Sched::Eevdf,
+        Sched::SimpleRr,
+        Sched::ScxFifo,
+        Sched::ScxVtime,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             Sched::Cfs => "CFS",
             Sched::Ule => "ULE",
+            Sched::Eevdf => "EEVDF",
+            Sched::SimpleRr => "SimpleRR",
+            Sched::ScxFifo => "scx_fifo",
+            Sched::ScxVtime => "scx_vtime",
         }
+    }
+
+    /// Stable lowercase name used by CLI flags, TOML specs, JSON reports
+    /// and golden-digest labels.
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            Sched::Cfs => "cfs",
+            Sched::Ule => "ule",
+            Sched::Eevdf => "eevdf",
+            Sched::SimpleRr => "simple-rr",
+            Sched::ScxFifo => "scx-fifo",
+            Sched::ScxVtime => "scx-vtime",
+        }
+    }
+
+    /// Inverse of [`Sched::flag_name`].
+    pub fn parse_flag(s: &str) -> Option<Sched> {
+        Sched::ALL.into_iter().find(|x| x.flag_name() == s)
+    }
+}
+
+/// JSON reports carry the display name ("CFS", "scx_fifo", …), matching
+/// the bench/latency artifacts that predate this enum growing variants.
+impl serde::Serialize for Sched {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(String::from(self.name()))
+    }
+}
+
+/// Build the scheduling class `sched` for `topo` (the single registry every
+/// front-end — scenarios, fuzzing, tournaments — constructs schedulers
+/// through). `seed` only matters to classes with internal randomness (ULE's
+/// balancer interval jitter).
+pub fn make_class(topo: &Topology, sched: Sched, seed: u64) -> Box<dyn sched_api::Scheduler> {
+    match sched {
+        Sched::Cfs => Box::new(Cfs::new(topo)),
+        Sched::Ule => Box::new(Ule::with_params(
+            topo,
+            ule::params::UleParams::default(),
+            seed,
+        )),
+        Sched::Eevdf => Box::new(Eevdf::new(topo)),
+        Sched::SimpleRr => Box::new(SimpleRR::new(topo)),
+        Sched::ScxFifo => Box::new(ScxSched::new(FifoPolicy, topo.nr_cpus())),
+        Sched::ScxVtime => Box::new(ScxSched::new(VtimePolicy::default(), topo.nr_cpus())),
     }
 }
 
@@ -77,13 +148,5 @@ pub fn make_kernel(
         // Keep a flight-recorder tail so a crash bundle has context.
         cfg.trace_capacity = cfg.trace_capacity.max(256);
     }
-    let class: Box<dyn sched_api::Scheduler> = match sched {
-        Sched::Cfs => Box::new(Cfs::new(topo)),
-        Sched::Ule => Box::new(Ule::with_params(
-            topo,
-            ule::params::UleParams::default(),
-            seed,
-        )),
-    };
-    Kernel::new(topo.clone(), cfg, class)
+    Kernel::new(topo.clone(), cfg, make_class(topo, sched, seed))
 }

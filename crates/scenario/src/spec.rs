@@ -178,21 +178,20 @@ pub fn get_array<'a>(v: &'a Value, path: &str, key: &str) -> Result<&'a [Value],
 }
 
 fn parse_sched(s: &str, path: &str) -> Result<Sched, SpecError> {
-    match s {
-        "cfs" => Ok(Sched::Cfs),
-        "ule" => Ok(Sched::Ule),
-        other => Err(SpecError::new(
+    Sched::parse_flag(s).ok_or_else(|| {
+        let known: Vec<&str> = Sched::ALL.iter().map(|x| x.flag_name()).collect();
+        SpecError::new(
             path,
-            format!("unknown scheduler `{other}` (expected `cfs` or `ule`)"),
-        )),
-    }
+            format!(
+                "unknown scheduler `{s}` (expected one of {})",
+                known.join(", ")
+            ),
+        )
+    })
 }
 
 fn sched_str(s: Sched) -> &'static str {
-    match s {
-        Sched::Cfs => "cfs",
-        Sched::Ule => "ule",
-    }
+    s.flag_name()
 }
 
 /// Which scheduler(s) an assertion applies to.

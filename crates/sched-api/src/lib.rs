@@ -19,6 +19,7 @@
 
 pub mod ids;
 pub mod sched;
+pub mod scx;
 pub mod task;
 pub mod weights;
 

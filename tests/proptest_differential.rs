@@ -1,18 +1,16 @@
 //! Differential property fuzzing: the same randomized workload runs under
-//! CFS, ULE, and the reference round-robin class with SchedSan strict
+//! every registered scheduling class (CFS, ULE, EEVDF, the reference
+//! round-robin, and both scx example policies) with SchedSan strict
 //! checking on. Whatever the scheduler, (a) no invariant is ever violated,
 //! (b) the workload terminates, and (c) the total CPU work performed is
 //! identical — schedulers decide *when and where* work runs, never *how
 //! much* of it there is.
 
-use cfs::Cfs;
-use kernel::{
-    from_fn, Action, AppSpec, CheckMode, FaultPlan, Kernel, SimConfig, SimpleRR, ThreadSpec,
-};
+use kernel::{from_fn, Action, AppSpec, CheckMode, FaultPlan, Kernel, SimConfig, ThreadSpec};
 use proptest::prelude::*;
+use scenario::Sched;
 use simcore::{Dur, Time};
 use topology::Topology;
-use ule::Ule;
 
 /// Alternating run/sleep threads from a spec vector (same shape as the
 /// kernel-level property tests).
@@ -53,7 +51,7 @@ fn demanded(spec: &[(u16, u16, u8)]) -> u64 {
 }
 
 fn run_under(
-    make: &dyn Fn(&Topology) -> Box<dyn sched_api::Scheduler>,
+    sched: Sched,
     spec: &[(u16, u16, u8)],
     seed: u64,
     faults: bool,
@@ -70,7 +68,7 @@ fn run_under(
             hotplug_down: Dur::millis(2),
         };
     }
-    let mut k = Kernel::new(topo.clone(), cfg, make(&topo));
+    let mut k = Kernel::new(topo.clone(), cfg, scenario::make_class(&topo, sched, seed));
     let app = k.queue_app(Time::ZERO, random_app(spec));
     let done = k
         .try_run_until_apps_done(Time::ZERO + Dur::secs(120))
@@ -84,41 +82,21 @@ fn run_under(
         .sum())
 }
 
-type SchedFactory = Box<dyn Fn(&Topology) -> Box<dyn sched_api::Scheduler>>;
-
-fn schedulers() -> Vec<(&'static str, SchedFactory)> {
-    vec![
-        (
-            "simple",
-            Box::new(|t: &Topology| Box::new(SimpleRR::new(t)) as Box<dyn sched_api::Scheduler>),
-        ),
-        (
-            "cfs",
-            Box::new(|t: &Topology| Box::new(Cfs::new(t)) as Box<dyn sched_api::Scheduler>),
-        ),
-        (
-            "ule",
-            Box::new(|t: &Topology| {
-                Box::new(Ule::with_params(t, ule::params::UleParams::default(), 5))
-                    as Box<dyn sched_api::Scheduler>
-            }),
-        ),
-    ]
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Clean machine: all three schedulers perform exactly the demanded
-    /// work, under strict invariant checking.
+    /// Clean machine: every registered scheduler performs exactly the
+    /// demanded work, under strict invariant checking (which routes into
+    /// each class's own `audit` — e.g. EEVDF's lag-conservation check).
     #[test]
     fn schedulers_agree_on_total_work(
         spec in prop::collection::vec((1u16..1500, 1u16..1500, 1u8..12), 1..10),
         seed: u64,
     ) {
         let want = demanded(&spec);
-        for (name, make) in schedulers() {
-            let got = run_under(make.as_ref(), &spec, seed, false)
+        for sched in Sched::ALL {
+            let name = sched.flag_name();
+            let got = run_under(sched, &spec, seed, false)
                 .map_err(|e| format!("[{name}] {e}"))?;
             prop_assert_eq!(got, want, "{} performed wrong amount of work", name);
         }
@@ -132,8 +110,9 @@ proptest! {
         seed: u64,
     ) {
         let want = demanded(&spec);
-        for (name, make) in schedulers() {
-            let got = run_under(make.as_ref(), &spec, seed, true)
+        for sched in Sched::ALL {
+            let name = sched.flag_name();
+            let got = run_under(sched, &spec, seed, true)
                 .map_err(|e| format!("[{name}] {e}"))?;
             prop_assert_eq!(got, want, "{} lost or invented work under faults", name);
         }
