@@ -1,5 +1,6 @@
 //! CFS tunables, with the values the paper reports for Linux 4.9.
 
+use sched_api::params::{Dim, ParamSpace, ParamVector};
 use simcore::Dur;
 
 /// CFS configuration. Defaults follow §2.1 of the paper.
@@ -84,6 +85,86 @@ impl CfsParams {
     }
 }
 
+/// The searchable subset of [`CfsParams`] (`battle tune`). Structural
+/// switches (`cgroups`) and bulk-migration internals stay fixed; the nine
+/// dimensions below are the latency/granularity/balancing knobs Linux
+/// exposes through `sysctl kernel.sched_*`.
+impl ParamSpace for CfsParams {
+    fn dims() -> Vec<Dim> {
+        vec![
+            Dim::duration(
+                "sched_latency",
+                Dur::millis(6),
+                Dur::millis(192),
+                Dur::millis(48),
+            ),
+            Dim::duration(
+                "min_granularity",
+                Dur::micros(750),
+                Dur::millis(24),
+                Dur::millis(6),
+            ),
+            Dim::integer("nr_latency", 2, 32, 8),
+            Dim::duration(
+                "wakeup_granularity",
+                Dur::micros(100),
+                Dur::millis(8),
+                Dur::millis(1),
+            ),
+            Dim::duration(
+                "sleeper_bonus",
+                Dur::micros(500),
+                Dur::millis(96),
+                Dur::millis(24),
+            ),
+            Dim::duration(
+                "balance_interval",
+                Dur::millis(1),
+                Dur::millis(32),
+                Dur::millis(4),
+            ),
+            Dim::integer("imbalance_pct_llc", 100, 150, 110),
+            Dim::integer("imbalance_pct_numa", 100, 200, 125),
+            Dim::duration(
+                "migration_cost",
+                Dur::micros(50),
+                Dur::millis(5),
+                Dur::micros(500),
+            ),
+        ]
+    }
+
+    fn to_vector(&self) -> ParamVector {
+        ParamVector(vec![
+            self.sched_latency.as_nanos() as f64,
+            self.min_granularity.as_nanos() as f64,
+            self.nr_latency as f64,
+            self.wakeup_granularity.as_nanos() as f64,
+            self.sleeper_bonus.as_nanos() as f64,
+            self.balance_interval.as_nanos() as f64,
+            self.imbalance_pct_llc as f64,
+            self.imbalance_pct_numa as f64,
+            self.migration_cost.as_nanos() as f64,
+        ])
+    }
+
+    fn from_vector(v: &ParamVector) -> CfsParams {
+        let d = Self::dims();
+        CfsParams {
+            sched_latency: v.dur(0, &d),
+            min_granularity: v.dur(1, &d),
+            nr_latency: v.int(2, &d) as usize,
+            wakeup_granularity: v.dur(3, &d),
+            sleeper_bonus: v.dur(4, &d),
+            balance_interval: v.dur(5, &d),
+            imbalance_pct_llc: v.int(6, &d),
+            imbalance_pct_numa: v.int(7, &d),
+            migration_cost: v.dur(8, &d),
+            ..CfsParams::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +176,32 @@ mod tests {
         assert_eq!(p.period(8), Dur::millis(48));
         assert_eq!(p.period(9), Dur::millis(54));
         assert_eq!(p.period(100), Dur::millis(600));
+    }
+
+    #[test]
+    fn default_vector_roundtrips() {
+        let dims = CfsParams::dims();
+        let v = CfsParams::default().to_vector();
+        assert_eq!(v.0.len(), dims.len());
+        // Every default sits inside its declared bounds, untouched by
+        // quantization.
+        assert_eq!(v.quantized(&dims), v);
+        let p = CfsParams::from_vector(&v);
+        assert_eq!(p.to_vector(), v);
+        assert_eq!(p.sched_latency, Dur::millis(48));
+        assert_eq!(p.nr_latency, 8);
+        assert!(p.cgroups, "non-tunable fields keep their defaults");
+    }
+
+    #[test]
+    fn out_of_bounds_vector_is_clamped() {
+        let dims = CfsParams::dims();
+        let mut v = CfsParams::default().to_vector();
+        v.0[0] = 0.0; // sched_latency below the 6 ms floor
+        v.0[6] = 1e9; // imbalance_pct_llc above the 150 cap
+        let p = CfsParams::from_vector(&v);
+        assert_eq!(p.sched_latency, Dur::millis(6));
+        assert_eq!(p.imbalance_pct_llc, 150);
+        let _ = dims;
     }
 }

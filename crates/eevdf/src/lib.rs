@@ -65,6 +65,33 @@ impl Default for EevdfParams {
     }
 }
 
+/// Both EEVDF tunables are searchable (`battle tune`): the base request
+/// size and the sleeper lag clamp.
+impl sched_api::params::ParamSpace for EevdfParams {
+    fn dims() -> Vec<sched_api::params::Dim> {
+        use sched_api::params::Dim;
+        vec![
+            Dim::duration("slice", Dur::micros(500), Dur::millis(24), Dur::millis(3)),
+            Dim::integer("lag_clamp_slices", 0, 8, 2),
+        ]
+    }
+
+    fn to_vector(&self) -> sched_api::params::ParamVector {
+        sched_api::params::ParamVector(vec![
+            self.slice.as_nanos() as f64,
+            self.lag_clamp_slices as f64,
+        ])
+    }
+
+    fn from_vector(v: &sched_api::params::ParamVector) -> EevdfParams {
+        let d = Self::dims();
+        EevdfParams {
+            slice: v.dur(0, &d),
+            lag_clamp_slices: v.int(1, &d) as u32,
+        }
+    }
+}
+
 /// Per-entity scheduler state (side table indexed by tid, like CFS's
 /// `sched_entity` embedded in `task_struct`).
 #[derive(Debug, Clone)]
@@ -619,6 +646,17 @@ mod tests {
 
     fn enq(s: &mut Eevdf, t: &mut TaskTable, tid: Tid, at: Time) {
         s.enqueue_task(t, CpuId(0), tid, EnqueueKind::New, at);
+    }
+
+    #[test]
+    fn params_vector_roundtrip() {
+        use sched_api::params::ParamSpace;
+        let v = EevdfParams::default().to_vector();
+        assert_eq!(v.quantized(&EevdfParams::dims()), v);
+        let p = EevdfParams::from_vector(&v);
+        assert_eq!(p.slice, Dur::millis(3));
+        assert_eq!(p.lag_clamp_slices, 2);
+        assert_eq!(p.to_vector(), v);
     }
 
     #[test]

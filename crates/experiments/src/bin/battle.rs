@@ -74,6 +74,11 @@ struct Args {
     timeout: Option<f64>,
     /// `battle chaos --plans N`: extra randomized budget plans per pair.
     plans: u32,
+    /// `battle tune --budget N`: candidate evaluations per scheduler.
+    budget: usize,
+    /// `true` once `--sched` was given explicitly (so `tune` can default
+    /// to the tunable set instead of fuzz's cfs+ule default).
+    sched_given: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
     let mut compare = None;
     let mut timeout = None;
     let mut plans = 1u32;
+    let mut budget = 64usize;
+    let mut sched_given = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--timeout" => {
@@ -130,8 +137,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("missing value for --cases")?;
                 fz.cases = v.parse().map_err(|e| format!("bad --cases: {e}"))?;
             }
+            "--budget" => {
+                let v = args.next().ok_or("missing value for --budget")?;
+                budget = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
+                if budget == 0 {
+                    return Err("--budget must be at least 1".to_string());
+                }
+            }
             "--sched" => {
                 let v = args.next().ok_or("missing value for --sched")?;
+                sched_given = true;
                 fz.scheds = match v.as_str() {
                     "both" => Sched::BOTH.to_vec(),
                     "all" => Sched::ALL.to_vec(),
@@ -188,7 +203,10 @@ fn parse_args() -> Result<Args, String> {
                 trace_fig = Some(other.to_string());
             }
             other
-                if (experiment == "run" || experiment == "chaos" || experiment == "tournament")
+                if (experiment == "run"
+                    || experiment == "chaos"
+                    || experiment == "tournament"
+                    || experiment == "tune")
                     && !other.starts_with('-') =>
             {
                 paths.push(other.to_string());
@@ -211,11 +229,13 @@ fn parse_args() -> Result<Args, String> {
         compare,
         timeout,
         plans,
+        budget,
+        sched_given,
     })
 }
 
 fn usage() -> String {
-    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|chaos|tournament|golden|all> \
+    "usage: battle <table1|fig1|fig2|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|desktop|bench|fuzz|trace|run|chaos|tournament|tune|golden|all> \
      [--scale S] [--seed N] [--json PATH] [--threads N] [--check strict|off]\n\
      schedulers:  cfs ule eevdf simple-rr scx-fifo scx-vtime (plus `both` = cfs+ule, `all`)\n\
      fuzz flags: [--cases N] [--sched NAME|both|all] [--faults on|off] [--parts MASK] [--case-seed HEX] [--case-timeout SECS]\n\
@@ -227,6 +247,12 @@ fn usage() -> String {
      tournament:  battle tournament <scenario.toml|dir>... [--scale S] [--seed N] [--json PATH]\n\
                   runs every registered scheduler over the corpus and prints a ranked scorecard\n\
                   (throughput, p99 run-delay, max starvation wait, Jain fairness); deterministic across --threads\n\
+     tune usage:  battle tune [scenario.toml|dir]... [--sched NAME|all] [--budget N] [--scale S]\n\
+                  [--seed N] [--json PATH] [--write]\n\
+                  deterministic parameter search (CEM + coordinate descent) over each scheduler's\n\
+                  tunable space; objective = tournament composite vs stock over the corpus (default:\n\
+                  scenarios/); --write emits results/tuned/<sched>.toml and table.md; byte-identical\n\
+                  output across --threads\n\
      chaos usage: battle chaos <scenario.toml|dir>... [--plans N] [--scale S] [--seed N] [--json PATH]\n\
                   SchedGuard supervision campaign: control vs guarded vs budget-killed runs plus\n\
                   injected panic/livelock/runaway/cancel probes; every case classified, no job loss\n\
@@ -498,6 +524,41 @@ fn main() {
             std::process::exit(2);
         }
         ok = experiments::tournament::cli(&args.paths, &args.cfg, &args.json);
+        std::io::stdout().flush().ok();
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.experiment == "tune" {
+        let paths = if args.paths.is_empty() {
+            vec!["scenarios".to_string()]
+        } else {
+            args.paths.clone()
+        };
+        let scheds: Vec<Sched> = if args.sched_given {
+            args.fuzz
+                .scheds
+                .iter()
+                .copied()
+                .filter(|&s| Sched::TUNABLE.contains(&s))
+                .collect()
+        } else {
+            Sched::TUNABLE.to_vec()
+        };
+        if scheds.is_empty() {
+            eprintln!("--sched selected no tunable scheduler\n{}", usage());
+            std::process::exit(2);
+        }
+        let tc = experiments::tune::TuneCfg {
+            budget: args.budget,
+            seed: args.cfg.seed,
+            scale: args.cfg.scale,
+            scheds,
+            write: args.write,
+            out_dir: "results/tuned".into(),
+        };
+        ok = experiments::tune::cli(&paths, &tc, &args.json);
         std::io::stdout().flush().ok();
         if !ok {
             std::process::exit(1);

@@ -338,6 +338,7 @@ pub fn run(corpus: &[(PathBuf, Scenario)], cfg: &ChaosCfg) -> ChaosReport {
         trace_capacity: 0,
         budget,
         cancel: None,
+        params: None,
     };
     let controls: Vec<Case> = runner::par_map(pairs.clone(), |(i, sched)| {
         let (_, sc) = &corpus[i];

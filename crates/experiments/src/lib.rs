@@ -47,6 +47,7 @@ pub mod scope;
 pub mod table1;
 pub mod table2;
 pub mod tournament;
+pub mod tune;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

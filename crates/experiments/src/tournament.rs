@@ -98,7 +98,7 @@ pub struct TournamentReport {
 /// kernel is consulted for per-task service: dead tasks stay in the task
 /// table with their final `sum_exec`, so the Jain index covers every
 /// application task that ever ran, not just survivors.
-fn cell_of(out: &RunOutput) -> Cell {
+pub(crate) fn cell_of(out: &RunOutput) -> Cell {
     let r = &out.run;
     let total_ops: u64 = r.apps.iter().map(|a| a.ops).sum();
     let throughput = if r.end_s > 0.0 {

@@ -202,6 +202,31 @@ pub mod strategy {
     }
     int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! float_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 uniform mantissa bits in [0, 1), scaled into the
+                    // range — half-open like the integer ranges.
+                    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (u as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    lo + (u as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_strategies!(f64, f32);
+
     macro_rules! tuple_strategies {
         ($(($($n:tt $t:ident),+))*) => {$(
             impl<$($t: Strategy),+> Strategy for ($($t,)+) {

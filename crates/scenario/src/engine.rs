@@ -15,7 +15,7 @@ use simcore::Time;
 use topology::CpuId;
 
 use crate::spec::{RelationBound, Scenario, SchedSel};
-use crate::{make_kernel, Sched};
+use crate::{make_kernel_tuned, Sched};
 
 /// Engine knobs shared by every run of a scenario batch.
 #[derive(Debug, Clone)]
@@ -35,6 +35,9 @@ pub struct EngineOpts {
     /// salvages a partial result like a budget-killed one, but its abort
     /// point is not deterministic.
     pub cancel: Option<CancelToken>,
+    /// Scheduler parameter-vector override (`battle tune` candidates);
+    /// `None` runs the stock defaults.
+    pub params: Option<sched_api::params::ParamVector>,
 }
 
 impl Default for EngineOpts {
@@ -46,6 +49,7 @@ impl Default for EngineOpts {
             trace_capacity: 0,
             budget: RunBudget::default(),
             cancel: None,
+            params: None,
         }
     }
 }
@@ -168,7 +172,14 @@ pub struct RunOutput {
 pub fn run_sched(sc: &Scenario, sched: Sched, opts: &EngineOpts) -> Result<RunOutput, EngineError> {
     let topo = sc.topology.build();
     let ncpu = topo.nr_cpus();
-    let mut k = make_kernel(&topo, sched, opts.seed, opts.check, sc.faults.to_plan());
+    let mut k = make_kernel_tuned(
+        &topo,
+        sched,
+        opts.seed,
+        opts.check,
+        sc.faults.to_plan(),
+        opts.params.as_ref(),
+    );
     if opts.trace_capacity > 0 {
         k.set_trace_capacity(opts.trace_capacity);
     }

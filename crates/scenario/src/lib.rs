@@ -26,11 +26,14 @@ pub mod spec;
 pub mod toml;
 pub mod workload;
 
+use cfs::params::CfsParams;
 use cfs::Cfs;
-use eevdf::Eevdf;
+use eevdf::{Eevdf, EevdfParams};
 use kernel::{CheckMode, FaultPlan, Kernel, SimConfig, SimpleRR};
-use sched_api::scx::{FifoPolicy, ScxSched, VtimePolicy};
+use sched_api::params::{Dim, ParamSpace, ParamVector};
+use sched_api::scx::{FifoPolicy, ScxSched, VtimeParams, VtimePolicy};
 use topology::Topology;
+use ule::params::UleParams;
 use ule::Ule;
 
 pub use engine::{
@@ -70,6 +73,11 @@ impl Sched {
         Sched::ScxFifo,
         Sched::ScxVtime,
     ];
+
+    /// The schedulers with a declared, non-empty [`param_dims`] space —
+    /// what `battle tune` searches by default. SimpleRR and scx-fifo have
+    /// no tunables (their whole point is having no policy state).
+    pub const TUNABLE: [Sched; 4] = [Sched::Cfs, Sched::Ule, Sched::Eevdf, Sched::ScxVtime];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -115,17 +123,51 @@ impl serde::Serialize for Sched {
 /// through). `seed` only matters to classes with internal randomness (ULE's
 /// balancer interval jitter).
 pub fn make_class(topo: &Topology, sched: Sched, seed: u64) -> Box<dyn sched_api::Scheduler> {
+    make_class_tuned(topo, sched, seed, None)
+}
+
+/// The tunable dimensions of `sched`'s parameter space (`battle tune`);
+/// empty for schedulers without tunables.
+pub fn param_dims(sched: Sched) -> Vec<Dim> {
     match sched {
-        Sched::Cfs => Box::new(Cfs::new(topo)),
+        Sched::Cfs => CfsParams::dims(),
+        Sched::Ule => UleParams::dims(),
+        Sched::Eevdf => EevdfParams::dims(),
+        Sched::ScxVtime => VtimeParams::dims(),
+        Sched::SimpleRr | Sched::ScxFifo => Vec::new(),
+    }
+}
+
+/// [`make_class`] with an optional parameter-vector override: `None` (or a
+/// scheduler without tunables) builds the stock defaults, `Some(v)` decodes
+/// `v` through the scheduler's [`ParamSpace`] (clamped to the declared
+/// bounds). The single construction path for every tuned run.
+pub fn make_class_tuned(
+    topo: &Topology,
+    sched: Sched,
+    seed: u64,
+    params: Option<&ParamVector>,
+) -> Box<dyn sched_api::Scheduler> {
+    match sched {
+        Sched::Cfs => Box::new(Cfs::with_params(
+            topo,
+            params.map(CfsParams::from_vector).unwrap_or_default(),
+        )),
         Sched::Ule => Box::new(Ule::with_params(
             topo,
-            ule::params::UleParams::default(),
+            params.map(UleParams::from_vector).unwrap_or_default(),
             seed,
         )),
-        Sched::Eevdf => Box::new(Eevdf::new(topo)),
+        Sched::Eevdf => Box::new(Eevdf::with_params(
+            topo,
+            params.map(EevdfParams::from_vector).unwrap_or_default(),
+        )),
         Sched::SimpleRr => Box::new(SimpleRR::new(topo)),
         Sched::ScxFifo => Box::new(ScxSched::new(FifoPolicy, topo.nr_cpus())),
-        Sched::ScxVtime => Box::new(ScxSched::new(VtimePolicy::default(), topo.nr_cpus())),
+        Sched::ScxVtime => Box::new(ScxSched::new(
+            VtimePolicy::with_params(params.map(VtimeParams::from_vector).unwrap_or_default()),
+            topo.nr_cpus(),
+        )),
     }
 }
 
@@ -141,6 +183,19 @@ pub fn make_kernel(
     check: CheckMode,
     faults: FaultPlan,
 ) -> Kernel {
+    make_kernel_tuned(topo, sched, seed, check, faults, None)
+}
+
+/// [`make_kernel`] with an optional scheduler parameter-vector override
+/// (see [`make_class_tuned`]).
+pub fn make_kernel_tuned(
+    topo: &Topology,
+    sched: Sched,
+    seed: u64,
+    check: CheckMode,
+    faults: FaultPlan,
+    params: Option<&ParamVector>,
+) -> Kernel {
     let mut cfg = SimConfig::with_seed(seed);
     cfg.check = check;
     cfg.faults = faults;
@@ -148,5 +203,9 @@ pub fn make_kernel(
         // Keep a flight-recorder tail so a crash bundle has context.
         cfg.trace_capacity = cfg.trace_capacity.max(256);
     }
-    Kernel::new(topo.clone(), cfg, make_class(topo, sched, seed))
+    Kernel::new(
+        topo.clone(),
+        cfg,
+        make_class_tuned(topo, sched, seed, params),
+    )
 }

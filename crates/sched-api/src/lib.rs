@@ -18,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod ids;
+pub mod params;
 pub mod sched;
 pub mod scx;
 pub mod task;
 pub mod weights;
 
 pub use ids::{GroupId, Tid};
+pub use params::{Dim, DimScale, ParamSpace, ParamVector};
 pub use sched::{
     DequeueKind, EnqueueKind, Preempt, PreemptCause, Scheduler, SelectStats, TaskSnapshot, WakeKind,
 };

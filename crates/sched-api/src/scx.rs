@@ -553,12 +553,58 @@ impl ScxPolicy for FifoPolicy {
     }
 }
 
+/// Tunables of [`VtimePolicy`] (`battle tune`).
+#[derive(Debug, Clone)]
+pub struct VtimeParams {
+    /// Fixed timeslice the adapter enforces via tick preemption.
+    pub slice: Dur,
+    /// Sleeper-forgiveness floor: a re-entering task's vtime is raised to
+    /// no further than this many (weight-scaled) slices behind the global
+    /// clock. Stock `scx_simple` uses one slice.
+    pub floor_slices: u64,
+}
+
+impl Default for VtimeParams {
+    fn default() -> Self {
+        VtimeParams {
+            slice: Dur::millis(4),
+            floor_slices: 1,
+        }
+    }
+}
+
+/// Both vtime knobs are searchable.
+impl crate::params::ParamSpace for VtimeParams {
+    fn dims() -> Vec<crate::params::Dim> {
+        use crate::params::Dim;
+        vec![
+            Dim::duration("slice", Dur::micros(500), Dur::millis(16), Dur::millis(4)),
+            Dim::integer("floor_slices", 1, 8, 1),
+        ]
+    }
+
+    fn to_vector(&self) -> crate::params::ParamVector {
+        crate::params::ParamVector(vec![self.slice.as_nanos() as f64, self.floor_slices as f64])
+    }
+
+    fn from_vector(v: &crate::params::ParamVector) -> VtimeParams {
+        let d = Self::dims();
+        VtimeParams {
+            slice: v.dur(0, &d),
+            floor_slices: v.int(1, &d),
+        }
+    }
+}
+
 /// Weight-scaled virtual time (`scx_simple` in vtime mode): each task's key
 /// advances by `ran × 1024 / weight` while it runs, and sleepers re-enter no
-/// further than one slice behind the global clock, so a nice −5 task gets
-/// proportionally more CPU without starving nice +5 ones.
+/// further than [`VtimeParams::floor_slices`] slices behind the global
+/// clock, so a nice −5 task gets proportionally more CPU without starving
+/// nice +5 ones.
 #[derive(Debug, Default)]
 pub struct VtimePolicy {
+    /// Tunables (stock `scx_simple` values by default).
+    params: VtimeParams,
     /// Per-task virtual time, indexed by `Tid::index()`.
     vtime: Vec<u64>,
     /// Global virtual clock: the max vtime any task started running with.
@@ -566,6 +612,14 @@ pub struct VtimePolicy {
 }
 
 impl VtimePolicy {
+    /// A policy with explicit tunables.
+    pub fn with_params(params: VtimeParams) -> VtimePolicy {
+        VtimePolicy {
+            params,
+            ..VtimePolicy::default()
+        }
+    }
+
     fn vtime_mut(&mut self, tid: Tid) -> &mut u64 {
         if self.vtime.len() <= tid.index() {
             self.vtime.resize(tid.index() + 1, 0);
@@ -580,7 +634,7 @@ impl ScxPolicy for VtimePolicy {
     }
 
     fn slice(&self) -> Dur {
-        Dur::millis(4)
+        self.params.slice
     }
 
     fn select_cpu(
@@ -597,7 +651,9 @@ impl ScxPolicy for VtimePolicy {
     fn enqueue(&mut self, ctx: &ScxCtx<'_>, tid: Tid, kind: EnqueueKind) -> u64 {
         let weight = nice_to_weight(ctx.tasks.get(tid).nice);
         let slice_v = calc_delta_fair(self.slice().as_nanos(), weight);
-        let floor = self.vtime_now.saturating_sub(slice_v);
+        let floor = self
+            .vtime_now
+            .saturating_sub(slice_v.saturating_mul(self.params.floor_slices));
         let v = self.vtime_mut(tid);
         if kind == EnqueueKind::New {
             *v = floor; // fresh (or recycled) tasks join at the clock

@@ -1,0 +1,89 @@
+//! Property coverage for the `battle tune` parameter-space layer:
+//! encode/decode round-trips, bound clamping at both edges, and log-scale
+//! duration mapping, over randomized dimension shapes and coordinates.
+
+use proptest::prelude::*;
+use sched_api::params::{Dim, ParamSpace, ParamVector};
+use sched_api::scx::VtimeParams;
+use simcore::Dur;
+
+/// A zoo of dimension shapes covering every scale kind.
+fn zoo() -> Vec<Dim> {
+    vec![
+        Dim::linear("lin", -10.0, 10.0, 0.0),
+        Dim::linear("lin-offset", 3.0, 4.0, 3.25),
+        Dim::log("log", 1e-3, 1e3, 1.0),
+        Dim::integer("int", 0, 100, 50),
+        Dim::integer("int-narrow", 1, 2, 1),
+        Dim::duration("dur-us", Dur::micros(1), Dur::micros(900), Dur::micros(30)),
+        Dim::duration("dur-wide", Dur::micros(50), Dur::secs(10), Dur::millis(48)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// from_units → to_units → from_units is the identity: the quantized
+    /// raw vector is a fixed point of the unit round-trip, whatever
+    /// coordinates the search proposes.
+    #[test]
+    fn unit_roundtrip_is_identity(
+        units in prop::collection::vec(0.0f64..=1.0, 7..8),
+    ) {
+        let dims = zoo();
+        let v = ParamVector::from_units(&units, &dims);
+        let back = ParamVector::from_units(&v.to_units(&dims), &dims);
+        prop_assert_eq!(&back, &v);
+        // Quantization is idempotent on decoded vectors.
+        prop_assert_eq!(v.quantized(&dims), v);
+    }
+
+    /// Arbitrary (unquantized, possibly wild) raw values decode into
+    /// bounds, and the decode is stable under a second pass.
+    #[test]
+    fn arbitrary_raw_values_clamp_into_bounds(
+        raws in prop::collection::vec(-1e12f64..1e12, 7..8),
+    ) {
+        let dims = zoo();
+        let v = ParamVector(raws).quantized(&dims);
+        for (i, d) in dims.iter().enumerate() {
+            prop_assert!(v.0[i] >= d.lo && v.0[i] <= d.hi,
+                "{} = {} outside [{}, {}]", d.name, v.0[i], d.lo, d.hi);
+            if d.scale.discrete() {
+                prop_assert_eq!(v.0[i], v.0[i].round());
+            }
+        }
+        prop_assert_eq!(v.quantized(&dims), v.clone());
+    }
+
+    /// Log-scale duration dimensions: monotone in the unit coordinate and
+    /// exact to the nanosecond after decode.
+    #[test]
+    fn log_duration_monotone_and_integral(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let d = Dim::duration("w", Dur::micros(50), Dur::secs(10), Dur::millis(48));
+        let (lo_u, hi_u) = if a <= b { (a, b) } else { (b, a) };
+        let (x, y) = (d.from_unit(lo_u), d.from_unit(hi_u));
+        prop_assert!(x <= y, "from_unit not monotone: {x} > {y}");
+        prop_assert_eq!(x, x.round());
+        prop_assert_eq!(y, y.round());
+    }
+
+    /// A concrete ParamSpace (scx-vtime) round-trips through its vector
+    /// for any in-bounds point: vector → params → vector identity.
+    #[test]
+    fn vtime_space_roundtrip(units in prop::collection::vec(0.0f64..=1.0, 2..3)) {
+        let dims = VtimeParams::dims();
+        let v = ParamVector::from_units(&units, &dims);
+        let p = VtimeParams::from_vector(&v);
+        prop_assert_eq!(p.to_vector(), v);
+    }
+}
+
+#[test]
+fn vtime_default_matches_stock_policy() {
+    let p = VtimeParams::default();
+    assert_eq!(p.slice, Dur::millis(4));
+    assert_eq!(p.floor_slices, 1);
+    let dims = VtimeParams::dims();
+    assert_eq!(p.to_vector(), ParamVector::defaults(&dims));
+}

@@ -1,0 +1,444 @@
+//! Deterministic parameter search for `battle tune`.
+//!
+//! Searches a scheduler's declared [`ParamSpace`](sched_api::params) for a
+//! vector that beats the stock defaults on a caller-supplied objective. Two
+//! phases share one evaluation budget:
+//!
+//! 1. **Global**: seeded cross-entropy search. Each generation samples a
+//!    batch of candidates from a per-dimension gaussian in the unit cube,
+//!    scores them, and refits mean/sigma on the elites (smoothed, with the
+//!    incumbent mixed in so the distribution never forgets the best point).
+//! 2. **Local**: one-dimensional coordinate descent on the incumbent with a
+//!    halving step, polishing the global phase's answer.
+//!
+//! Everything is deterministic: candidates come from a [`SimRng`] stream
+//! seeded by [`SearchCfg::seed`], batches are handed to the evaluation
+//! callback in a fixed order, and ties never replace the incumbent. The
+//! callback may fan batches out across threads (`battle tune` uses the
+//! supervised runner) as long as it returns scores in the order given —
+//! the search itself is then byte-identical for any thread count.
+//!
+//! Scores are "higher is better"; non-finite scores mean the candidate
+//! failed (diverged, livelocked, panicked) and lose to every finite score.
+//! The stock default vector is always evaluated first, so the incumbent
+//! can never be worse than stock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sched_api::params::{Dim, ParamVector};
+use simcore::SimRng;
+use std::collections::HashMap;
+
+/// Search-budget knobs. The defaults suit a smoke run; real tuning raises
+/// `budget`.
+#[derive(Debug, Clone)]
+pub struct SearchCfg {
+    /// Total candidate evaluations, including the stock default.
+    pub budget: usize,
+    /// RNG seed for candidate sampling.
+    pub seed: u64,
+    /// Candidates per global-phase generation.
+    pub batch: usize,
+    /// Elites refitting the sampling distribution each generation.
+    pub elite: usize,
+    /// Fraction of the budget spent in the global phase (rest: descent).
+    pub global_frac: f64,
+    /// Initial per-dimension sigma, in unit-cube coordinates.
+    pub init_sigma: f64,
+    /// Elite-refit smoothing: `new = alpha * elite_fit + (1-alpha) * old`.
+    pub smoothing: f64,
+}
+
+impl Default for SearchCfg {
+    fn default() -> Self {
+        SearchCfg {
+            budget: 64,
+            seed: 1,
+            batch: 8,
+            elite: 3,
+            global_frac: 0.6,
+            init_sigma: 0.25,
+            smoothing: 0.7,
+        }
+    }
+}
+
+/// One evaluation in the search trajectory (the tuned-vs-stock plot's
+/// x-axis is `eval`, the y-axis `best`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TrajPoint {
+    /// 1-based evaluation index (1 is always the stock default).
+    pub eval: usize,
+    /// This candidate's score (`-inf` encodes a failed run).
+    pub score: f64,
+    /// Best score seen up to and including this evaluation.
+    pub best: f64,
+}
+
+/// The outcome of [`search`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SearchResult {
+    /// Best vector found (the stock default if nothing beat it).
+    pub incumbent: ParamVector,
+    /// The incumbent's score.
+    pub incumbent_score: f64,
+    /// The stock default vector's score (evaluation #1).
+    pub stock_score: f64,
+    /// Evaluations actually spent (≤ budget; dedup never re-scores).
+    pub evals: usize,
+    /// Per-evaluation (score, best-so-far) history, in evaluation order.
+    pub trajectory: Vec<TrajPoint>,
+}
+
+/// Standard-normal draw (Box–Muller) from the deterministic stream.
+fn gaussian(rng: &mut SimRng) -> f64 {
+    let u1 = rng.gen_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.gen_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Shared search state: dedup cache, incumbent, trajectory.
+struct State<'d> {
+    dims: &'d [Dim],
+    cache: HashMap<Vec<u64>, f64>,
+    evals: usize,
+    best: (ParamVector, f64),
+    trajectory: Vec<TrajPoint>,
+}
+
+impl<'d> State<'d> {
+    /// Score `want` (already quantized) vectors, consulting the dedup
+    /// cache; only cache misses reach `eval` and consume budget. Returns
+    /// one score per input, in input order.
+    fn eval_batch<F>(&mut self, want: &[ParamVector], eval: &mut F) -> Vec<f64>
+    where
+        F: FnMut(&[ParamVector]) -> Vec<f64>,
+    {
+        let fresh: Vec<ParamVector> = want
+            .iter()
+            .filter(|v| !self.cache.contains_key(&v.bits_key()))
+            .cloned()
+            .collect();
+        if !fresh.is_empty() {
+            let scores = eval(&fresh);
+            assert_eq!(
+                scores.len(),
+                fresh.len(),
+                "objective must return one score per candidate"
+            );
+            for (v, s) in fresh.iter().zip(scores) {
+                let s = if s.is_finite() { s } else { f64::NEG_INFINITY };
+                self.cache.insert(v.bits_key(), s);
+                self.evals += 1;
+                if s > self.best.1 {
+                    self.best = (v.clone(), s);
+                }
+                self.trajectory.push(TrajPoint {
+                    eval: self.evals,
+                    score: s,
+                    best: self.best.1,
+                });
+            }
+        }
+        want.iter().map(|v| self.cache[&v.bits_key()]).collect()
+    }
+
+    /// Sample up to `want` fresh candidates from the gaussian
+    /// `(mean, sigma)` in unit space. Gives up after a bounded number of
+    /// draws so tiny (e.g. all-integer) spaces terminate once exhausted.
+    fn sample(
+        &self,
+        want: usize,
+        mean: &[f64],
+        sigma: &[f64],
+        rng: &mut SimRng,
+    ) -> Vec<ParamVector> {
+        let mut out: Vec<ParamVector> = Vec::with_capacity(want);
+        let mut seen: Vec<Vec<u64>> = Vec::with_capacity(want);
+        for _ in 0..want.saturating_mul(20) {
+            if out.len() == want {
+                break;
+            }
+            let units: Vec<f64> = mean
+                .iter()
+                .zip(sigma)
+                .map(|(&m, &s)| (m + s * gaussian(rng)).clamp(0.0, 1.0))
+                .collect();
+            let v = ParamVector::from_units(&units, self.dims);
+            let key = v.bits_key();
+            if self.cache.contains_key(&key) || seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Run the two-phase search over `dims`, spending at most `cfg.budget`
+/// calls of the objective. `eval` receives a batch of candidate vectors
+/// (all quantized, all in bounds) and must return one score per vector in
+/// the same order; it is free to evaluate the batch in parallel.
+pub fn search<F>(dims: &[Dim], cfg: &SearchCfg, mut eval: F) -> SearchResult
+where
+    F: FnMut(&[ParamVector]) -> Vec<f64>,
+{
+    let mut st = State {
+        dims,
+        cache: HashMap::new(),
+        evals: 0,
+        best: (ParamVector::defaults(dims), f64::NEG_INFINITY),
+        trajectory: Vec::new(),
+    };
+    let stock = ParamVector::defaults(dims);
+    let stock_score = st.eval_batch(std::slice::from_ref(&stock), &mut eval)[0];
+    // A failed stock run still leaves the defaults as the incumbent.
+    st.best = (stock.clone(), stock_score);
+
+    if !dims.is_empty() && cfg.budget > 1 {
+        let mut rng = SimRng::new(cfg.seed);
+        global_phase(&mut st, cfg, &mut rng, &mut eval);
+        descent_phase(&mut st, cfg, &mut eval);
+    }
+
+    SearchResult {
+        incumbent: st.best.0,
+        incumbent_score: st.best.1,
+        stock_score,
+        evals: st.evals,
+        trajectory: st.trajectory,
+    }
+}
+
+/// Phase 1: cross-entropy global search with elite refit.
+fn global_phase<F>(st: &mut State, cfg: &SearchCfg, rng: &mut SimRng, eval: &mut F)
+where
+    F: FnMut(&[ParamVector]) -> Vec<f64>,
+{
+    let n = st.dims.len();
+    let global_budget = ((cfg.budget as f64) * cfg.global_frac.clamp(0.0, 1.0)).round() as usize;
+    let mut mean = st.best.0.to_units(st.dims);
+    let mut sigma = vec![cfg.init_sigma.max(0.02); n];
+    while st.evals < global_budget.min(cfg.budget) {
+        let want = cfg.batch.max(1).min(cfg.budget - st.evals);
+        let cands = st.sample(want, &mean, &sigma, rng);
+        if cands.is_empty() {
+            return; // space exhausted at this distribution
+        }
+        let scores = st.eval_batch(&cands, eval);
+        // Elite pool: this generation plus the incumbent, best first.
+        // The stable sort keeps earlier candidates ahead on ties, so the
+        // refit is deterministic.
+        let mut pool: Vec<(Vec<f64>, f64)> = cands
+            .iter()
+            .zip(&scores)
+            .map(|(v, &s)| (v.to_units(st.dims), s))
+            .collect();
+        pool.push((st.best.0.to_units(st.dims), st.best.1));
+        pool.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let elites = &pool[..cfg.elite.max(1).min(pool.len())];
+        let alpha = cfg.smoothing.clamp(0.0, 1.0);
+        for d in 0..n {
+            let m: f64 = elites.iter().map(|(u, _)| u[d]).sum::<f64>() / elites.len() as f64;
+            let var: f64 =
+                elites.iter().map(|(u, _)| (u[d] - m).powi(2)).sum::<f64>() / elites.len() as f64;
+            mean[d] = alpha * m + (1.0 - alpha) * mean[d];
+            sigma[d] = (alpha * var.sqrt() + (1.0 - alpha) * sigma[d]).max(0.02);
+        }
+    }
+}
+
+/// Phase 2: one-dimensional descent on the incumbent with a halving step.
+fn descent_phase<F>(st: &mut State, cfg: &SearchCfg, eval: &mut F)
+where
+    F: FnMut(&[ParamVector]) -> Vec<f64>,
+{
+    let n = st.dims.len();
+    let mut step = 0.25_f64;
+    let mut units = st.best.0.to_units(st.dims);
+    while st.evals < cfg.budget && step >= 1.0 / 1024.0 {
+        let mut improved = false;
+        'dims: for d in 0..n {
+            for dir in [1.0_f64, -1.0] {
+                if st.evals >= cfg.budget {
+                    break 'dims;
+                }
+                let mut u = units.clone();
+                u[d] = (u[d] + dir * step).clamp(0.0, 1.0);
+                let v = ParamVector::from_units(&u, st.dims);
+                // Quantization may collapse the step onto a point already
+                // scored; the cache answers without spending budget.
+                let before = st.best.1;
+                let s = st.eval_batch(std::slice::from_ref(&v), eval)[0];
+                if s > before {
+                    units = st.best.0.to_units(st.dims);
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Dur;
+
+    fn space() -> Vec<Dim> {
+        vec![
+            Dim::linear("a", 0.0, 10.0, 1.0),
+            Dim::linear("b", 0.0, 10.0, 1.0),
+            Dim::duration("slice", Dur::micros(100), Dur::millis(100), Dur::millis(3)),
+        ]
+    }
+
+    /// Smooth objective peaking away from the default on the linear dims.
+    fn sphere(batch: &[ParamVector]) -> Vec<f64> {
+        batch
+            .iter()
+            .map(|v| -((v.0[0] - 7.0).powi(2) + (v.0[1] - 7.0).powi(2)))
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_peak_of_a_smooth_objective() {
+        let dims = space();
+        let cfg = SearchCfg {
+            budget: 200,
+            seed: 42,
+            ..SearchCfg::default()
+        };
+        let r = search(&dims, &cfg, sphere);
+        assert!(r.incumbent_score > r.stock_score);
+        assert!(
+            (r.incumbent.0[0] - 7.0).abs() < 1.0,
+            "a = {}",
+            r.incumbent.0[0]
+        );
+        assert!(
+            (r.incumbent.0[1] - 7.0).abs() < 1.0,
+            "b = {}",
+            r.incumbent.0[1]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_everything() {
+        let dims = space();
+        let cfg = SearchCfg {
+            budget: 60,
+            seed: 7,
+            ..SearchCfg::default()
+        };
+        let a = search(&dims, &cfg, sphere);
+        let b = search(&dims, &cfg, sphere);
+        assert_eq!(a.incumbent, b.incumbent);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn budget_is_respected_and_stock_goes_first() {
+        let dims = space();
+        let cfg = SearchCfg {
+            budget: 25,
+            seed: 3,
+            ..SearchCfg::default()
+        };
+        let mut calls = 0usize;
+        let r = search(&dims, &cfg, |b| {
+            calls += b.len();
+            sphere(b)
+        });
+        assert_eq!(calls, r.evals);
+        assert!(r.evals <= cfg.budget);
+        assert_eq!(r.trajectory[0].eval, 1);
+        assert_eq!(r.trajectory[0].score, r.stock_score);
+        // Every scored candidate was unique: trajectory indices are 1..=evals.
+        for (i, t) in r.trajectory.iter().enumerate() {
+            assert_eq!(t.eval, i + 1);
+        }
+    }
+
+    #[test]
+    fn incumbent_never_worse_than_stock() {
+        // Objective where the default is the global optimum: the search
+        // must come home empty-handed with the stock vector intact.
+        let dims = space();
+        let stock = ParamVector::defaults(&dims);
+        let cfg = SearchCfg {
+            budget: 40,
+            seed: 11,
+            ..SearchCfg::default()
+        };
+        let s0 = stock.clone();
+        let r = search(&dims, &cfg, move |batch| {
+            batch
+                .iter()
+                .map(|v| {
+                    let d: f64 = v.0.iter().zip(&s0.0).map(|(a, b)| (a - b).abs()).sum();
+                    -d
+                })
+                .collect()
+        });
+        assert_eq!(r.incumbent, stock);
+        assert_eq!(r.incumbent_score, r.stock_score);
+    }
+
+    #[test]
+    fn failed_candidates_lose_to_any_finite_score() {
+        // Everything but the default diverges (NaN): incumbent stays stock.
+        let dims = space();
+        let stock = ParamVector::defaults(&dims);
+        let cfg = SearchCfg {
+            budget: 30,
+            seed: 5,
+            ..SearchCfg::default()
+        };
+        let s0 = stock.clone();
+        let r = search(&dims, &cfg, move |batch| {
+            batch
+                .iter()
+                .map(|v| if *v == s0 { 0.5 } else { f64::NAN })
+                .collect()
+        });
+        assert_eq!(r.incumbent, stock);
+        assert_eq!(r.incumbent_score, 0.5);
+        assert!(r
+            .trajectory
+            .iter()
+            .skip(1)
+            .all(|t| t.score == f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn empty_space_evaluates_stock_once() {
+        let cfg = SearchCfg::default();
+        let r = search(&[], &cfg, |b| b.iter().map(|_| 1.0).collect());
+        assert_eq!(r.evals, 1);
+        assert_eq!(r.incumbent, ParamVector(Vec::new()));
+        assert_eq!(r.incumbent_score, 1.0);
+    }
+
+    #[test]
+    fn integer_space_terminates_when_exhausted() {
+        // 3 × 3 grid: 9 distinct points. Budget far above that; dedup plus
+        // bounded sampling must stop the search rather than spin.
+        let dims = vec![Dim::integer("x", 0, 2, 0), Dim::integer("y", 0, 2, 0)];
+        let cfg = SearchCfg {
+            budget: 500,
+            seed: 9,
+            ..SearchCfg::default()
+        };
+        let r = search(&dims, &cfg, |batch| {
+            batch.iter().map(|v| v.0[0] + v.0[1]).collect()
+        });
+        assert!(r.evals <= 9, "re-evaluated a cached point: {}", r.evals);
+        assert_eq!(r.incumbent_score, 4.0); // (2, 2)
+    }
+}

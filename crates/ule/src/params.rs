@@ -1,6 +1,7 @@
 //! ULE tunables, matching FreeBSD 11.1 (`kern.sched.*`) and §2.2 of the
 //! paper.
 
+use sched_api::params::{Dim, ParamSpace, ParamVector};
 use simcore::Dur;
 
 /// Interactivity scale maximum (`SCHED_INTERACT_MAX`).
@@ -95,6 +96,63 @@ impl UleParams {
     }
 }
 
+/// The searchable subset of [`UleParams`] (`battle tune`): the
+/// interactivity threshold, slice sizing, steal threshold, affinity window
+/// and balancer cadence. The balancer's min/max interval moves as one
+/// dimension — `balance_min` — with the stock 1:3 ratio preserved, so a
+/// candidate can never invert the `[min, max]` jitter window. History
+/// clamps (`slp_run_max`, fork clamp, `pctcpu_window`) and the
+/// balancer-bug ablation switch stay fixed.
+impl ParamSpace for UleParams {
+    fn dims() -> Vec<Dim> {
+        vec![
+            Dim::integer("interact_thresh", 5, 60, 30),
+            Dim::integer("slice_ticks", 2, 40, 10),
+            Dim::integer("slice_min_ticks", 1, 4, 1),
+            Dim::duration(
+                "balance_min",
+                Dur::millis(100),
+                Dur::millis(2000),
+                Dur::millis(500),
+            ),
+            Dim::integer("steal_thresh", 1, 8, 2),
+            Dim::duration(
+                "affinity_window",
+                Dur::millis(5),
+                Dur::millis(500),
+                Dur::millis(50),
+            ),
+        ]
+    }
+
+    fn to_vector(&self) -> ParamVector {
+        ParamVector(vec![
+            self.interact_thresh as f64,
+            self.slice_ticks as f64,
+            self.slice_min_ticks as f64,
+            self.balance_min.as_nanos() as f64,
+            self.steal_thresh as f64,
+            self.affinity_window.as_nanos() as f64,
+        ])
+    }
+
+    fn from_vector(v: &ParamVector) -> UleParams {
+        let d = Self::dims();
+        let balance_min = v.dur(3, &d);
+        UleParams {
+            interact_thresh: v.int(0, &d) as i64,
+            slice_ticks: v.int(1, &d),
+            slice_min_ticks: v.int(2, &d),
+            balance_min,
+            // Stock ships 500..1500 ms; keep the 1:3 jitter ratio.
+            balance_max: balance_min.saturating_mul(3),
+            steal_thresh: v.int(4, &d) as usize,
+            affinity_window: v.dur(5, &d),
+            ..UleParams::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +176,27 @@ mod tests {
         assert_eq!(min, 48);
         assert_eq!(max, 135);
         assert!(idle > max);
+    }
+
+    #[test]
+    fn default_vector_roundtrips_and_keeps_balance_ratio() {
+        let v = UleParams::default().to_vector();
+        assert_eq!(v.quantized(&UleParams::dims()), v);
+        let p = UleParams::from_vector(&v);
+        assert_eq!(p.to_vector(), v);
+        assert_eq!(p.interact_thresh, 30);
+        assert_eq!(p.balance_min, Dur::millis(500));
+        assert_eq!(p.balance_max, Dur::millis(1500));
+        assert!(p.periodic_balance, "ablation switch is not searchable");
+    }
+
+    #[test]
+    fn clamped_vector_never_inverts_the_balance_window() {
+        let mut v = UleParams::default().to_vector();
+        v.0[3] = Dur::secs(60).as_nanos() as f64; // clamps to 2000 ms
+        let p = UleParams::from_vector(&v);
+        assert_eq!(p.balance_min, Dur::millis(2000));
+        assert_eq!(p.balance_max, Dur::millis(6000));
+        assert!(p.balance_min <= p.balance_max);
     }
 }
